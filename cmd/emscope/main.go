@@ -1,0 +1,120 @@
+// Command emscope renders ASCII spectrograms of the simulated VRM
+// emanations — the terminal equivalent of the paper's Fig. 2 (the
+// active/idle micro-benchmark) and Fig. 11 (a typed sentence).
+//
+// Examples:
+//
+//	emscope                             # Fig. 2 micro-benchmark view
+//	emscope -mode keys -text "hello hpca"
+//	emscope -laptop "Sony Ultrabook" -active 5ms -idle 5ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/dsp"
+	"pmuleak/internal/laptop"
+	"pmuleak/internal/sim"
+	"pmuleak/internal/workload"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "microbench", "microbench | keys")
+		model    = flag.String("laptop", laptop.Reference().Model, "target laptop model (see -list)")
+		list     = flag.Bool("list", false, "list available laptop models and exit")
+		active   = flag.Duration("active", 2*time.Millisecond, "micro-benchmark active period (t1)")
+		idle     = flag.Duration("idle", 2*time.Millisecond, "micro-benchmark idle period (t2)")
+		cycles   = flag.Int("cycles", 40, "micro-benchmark active/idle cycles")
+		text     = flag.String("text", "can you hear me", "text for -mode keys")
+		rows     = flag.Int("rows", 24, "display rows")
+		cols     = flag.Int("cols", 100, "display columns")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		distance = flag.Float64("distance", 0.10, "antenna distance in meters")
+		hifi     = flag.Bool("hifi", false, "use the pulse-train emission model (spectrum emerges from pulse timing)")
+		csvPath  = flag.String("csv", "", "also write the spectrogram as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range laptop.Profiles() {
+			fmt.Printf("%-24s %s, %s, VRM %.0f kHz\n",
+				p.Model, p.OS(), p.Arch, p.VRM.SwitchingFreqHz/1e3)
+		}
+		return
+	}
+	prof, ok := laptop.ByModel(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "emscope: unknown laptop %q (try -list)\n", *model)
+		os.Exit(1)
+	}
+	tb := core.NewTestbed(
+		core.WithLaptop(prof),
+		core.WithSeed(*seed),
+		core.WithDistance(*distance),
+	)
+
+	switch *mode {
+	case "microbench":
+		fmt.Printf("%s — VRM at %.0f kHz, tuned to %.0f kHz, t1=%v t2=%v\n",
+			prof, prof.VRM.SwitchingFreqHz/1e3, 1.5*prof.VRM.SwitchingFreqHz/1e3,
+			*active, *idle)
+		var s *dsp.Spectrogram
+		if *hifi {
+			s = hifiSpectrogram(prof, sim.Time(active.Nanoseconds()),
+				sim.Time(idle.Nanoseconds()), *cycles, *seed)
+		} else {
+			s = tb.MicrobenchSpectrogram(sim.Time(active.Nanoseconds()),
+				sim.Time(idle.Nanoseconds()), *cycles)
+		}
+		core.RenderSpectrogram(os.Stdout, s, *rows, *cols)
+		writeCSV(*csvPath, s)
+		fmt.Println("\nThe horizontal stripes are the VRM switching fundamental and its")
+		fmt.Println("first harmonic; they appear during active phases and vanish while idle.")
+	case "keys":
+		fmt.Printf("%s — typing %q\n", prof, *text)
+		s, events := tb.KeylogSpectrogram(*text)
+		core.RenderSpectrogram(os.Stdout, s, *rows, *cols)
+		writeCSV(*csvPath, s)
+		fmt.Printf("\n%d keystrokes injected; each vertical burst is one key press.\n", len(events))
+	default:
+		fmt.Fprintf(os.Stderr, "emscope: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}
+
+// writeCSV dumps the spectrogram to path when one was requested.
+func writeCSV(path string, s *dsp.Spectrogram) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emscope: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "emscope: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(spectrogram written to %s)\n", path)
+}
+
+// hifiSpectrogram runs the micro-benchmark and renders it with the
+// pulse-train emission model, where the VRM comb emerges from the
+// switching pulse timing itself.
+func hifiSpectrogram(prof laptop.Profile, active, idle sim.Time, cycles int, seed int64) *dsp.Spectrogram {
+	sys := laptop.NewSystem(prof, seed)
+	defer sys.Close()
+	workload.Microbench(sys.Kernel(), active, idle, cycles)
+	horizon := sim.Time(float64(active+idle)*float64(cycles)*1.3) + 2*sim.Millisecond
+	sys.Run(horizon)
+	plan := sys.DefaultPlan()
+	iq := sys.EmanationsPulseTrain(horizon, plan)
+	return dsp.STFT(iq, 1024, 512, dsp.Hann(1024), plan.SampleRate)
+}

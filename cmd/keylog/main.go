@@ -1,0 +1,69 @@
+// Command keylog runs the §V keystroke-logging attack against a
+// simulated typing session and reports the Table IV accuracy metrics.
+//
+// Examples:
+//
+//	keylog -words 50
+//	keylog -text "hunter2 correct horse battery staple"
+//	keylog -distance 2 -antenna loop
+//	keylog -distance 1.5 -wall 15 -antenna loop   # through the wall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/keylog"
+	"pmuleak/internal/laptop"
+	"pmuleak/internal/sdr"
+)
+
+func main() {
+	var (
+		model    = flag.String("laptop", "Dell Precision 7290", "target laptop model")
+		distance = flag.Float64("distance", 0.10, "antenna distance in meters")
+		wall     = flag.Float64("wall", 0, "wall penetration loss in dB")
+		antenna  = flag.String("antenna", "probe", "probe | loop")
+		words    = flag.Int("words", 30, "random words to type (ignored with -text)")
+		text     = flag.String("text", "", "type this text instead of random words")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		verbose  = flag.Bool("v", false, "print per-word reconstruction")
+	)
+	flag.Parse()
+
+	prof, ok := laptop.ByModel(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "keylog: unknown laptop %q\n", *model)
+		os.Exit(1)
+	}
+	ant := sdr.CoilProbe
+	if *antenna == "loop" {
+		ant = sdr.LoopLA390
+	}
+	tb := core.NewTestbed(
+		core.WithLaptop(prof),
+		core.WithDistance(*distance),
+		core.WithWall(*wall),
+		core.WithAntenna(ant),
+		core.WithSeed(*seed),
+	)
+
+	res := tb.RunKeylog(core.KeylogConfig{Text: *text, Words: *words})
+
+	fmt.Printf("target    : %s\n", prof)
+	fmt.Printf("path      : %.2f m, wall %.0f dB, %s\n", *distance, *wall, ant.Name)
+	fmt.Printf("typed     : %d keystrokes, %d words\n", res.Char.Truth, res.Word.Truth)
+	fmt.Printf("detected  : %d keystrokes, %d words\n", res.Char.Detected, res.Word.Retrieved)
+	fmt.Printf("chars     : TPR %.1f%%  FPR %.1f%%\n", 100*res.Char.TPR, 100*res.Char.FPR)
+	fmt.Printf("words     : precision %.1f%%  recall %.1f%%\n",
+		100*res.Word.Precision, 100*res.Word.Recall)
+	hints := keylog.AnalyzeTiming(res.Detection.Keystrokes)
+	bits, informative := keylog.SearchSpaceReduction(hints, keylog.DefaultTypistConfig())
+	fmt.Printf("timing    : %d informative intervals, ~%.0f bits toward key identification\n",
+		informative, bits)
+	if *verbose {
+		fmt.Printf("text      : %q\n", res.Text)
+	}
+}

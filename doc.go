@@ -1,0 +1,22 @@
+// Package pmuleak reproduces "A New Side-Channel Vulnerability on
+// Modern Computers by Exploiting Electromagnetic Emanations from the
+// Power Management Unit" (HPCA 2020) as a fully simulated Go system.
+//
+// The physical testbed of the paper — commodity laptops, an RTL-SDR v3,
+// magnetic probes and loop antennas, an office wall — is replaced by
+// physics-grounded models: a discrete-event OS, an Intel-style PMU with
+// P-/C-states, a buck-converter VRM with phase shedding, an EM synthesis
+// and propagation chain, and an 8-bit SDR front end. On top of those
+// substrates sit the paper's two attacks: the §IV covert channel and the
+// §V keystroke logger.
+//
+// Entry points:
+//
+//   - internal/core: the Testbed API used by every example and tool
+//   - cmd/paperbench: regenerates every table and figure of the paper
+//   - cmd/covert, cmd/keylog, cmd/emscope: interactive attack tools
+//   - bench_test.go: testing.B benchmarks, one per table and figure
+//
+// See DESIGN.md for the substitution table and the per-experiment index,
+// and EXPERIMENTS.md for paper-versus-measured results.
+package pmuleak

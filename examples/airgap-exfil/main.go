@@ -1,0 +1,68 @@
+// Air-gap exfiltration: the paper's headline scenario. A user-level
+// process on an isolated laptop encodes a secret into power-state
+// transitions; an attacker one room away — 1.5 m and a 35 cm structural
+// wall, with a printer and a refrigerator polluting the band — receives
+// the VRM emanations with a loop antenna and recovers the secret.
+//
+// Byte framing cannot survive bit insertions or deletions, so the
+// transmitter appends a CRC-8 and simply retransmits the frame until
+// the receiver sees a checksum match — the simplest reliable protocol
+// an attacker could hand-write on the target (§IV-A argues transmitter
+// simplicity matters).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/ecc"
+)
+
+func main() {
+	secret := "the launch code is 7291"
+	framed := append([]byte(secret), ecc.CRC8([]byte(secret)))
+
+	const maxAttempts = 6
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		// Each attempt is a fresh transmission (new seed = new noise,
+		// new interrupt timing) over the Fig. 10 office path.
+		tb := core.NLoSOffice(int64(7 + attempt))
+		res, ok := tb.RateSearch(1.5e-2, core.CovertConfig{
+			Payload: ecc.BytesToBits(framed),
+		})
+		if attempt == 0 {
+			fmt.Printf("path      : %.1f m through a %.0f dB wall, %s\n",
+				tb.Channel.DistanceM, tb.Channel.WallLossDB, tb.Radio.Antenna.Name)
+			fmt.Printf("rate      : %.0f bps (paper: 821 bps in the same scenario)\n",
+				res.TransmitRate)
+		}
+		if !ok || !res.PayloadOK {
+			fmt.Printf("attempt %d : no sync, retransmitting\n", attempt+1)
+			continue
+		}
+		bits, _, _ := res.Demod.RecoverPayloadN(res.TXCfg, len(framed)*8)
+		if want := len(framed) * 8; len(bits) >= want {
+			bits = bits[:want]
+		}
+		frame := ecc.BitsToBytes(bits)
+		if len(frame) < len(framed) {
+			fmt.Printf("attempt %d : short frame, retransmitting\n", attempt+1)
+			continue
+		}
+		body, crc := frame[:len(frame)-1], frame[len(frame)-1]
+		if ecc.CRC8(body) != crc {
+			fmt.Printf("attempt %d : CRC mismatch (channel %v), retransmitting\n",
+				attempt+1, res.Measurement)
+			continue
+		}
+		fmt.Printf("attempt %d : CRC ok\n", attempt+1)
+		fmt.Printf("sent      : %q\n", secret)
+		fmt.Printf("received  : %q\n", string(body))
+		if string(body) == secret {
+			fmt.Println("secret exfiltrated bit-exactly through the wall")
+		}
+		return
+	}
+	log.Fatalf("no clean frame in %d attempts", maxAttempts)
+}

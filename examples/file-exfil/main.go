@@ -1,0 +1,84 @@
+// File exfiltration with the packet protocol: a multi-packet document
+// leaves an air-gapped machine through the wall. Each packet is an
+// independently synchronizable frame (preamble + sequence number +
+// CRC-8), so a timing slip costs one packet, not the whole transfer, and
+// the receiver requests only the missing sequence numbers again — the
+// protocol a real exfiltration implant would use on this channel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/covert"
+	"pmuleak/internal/ecc"
+)
+
+func main() {
+	document := []byte(
+		"TOP SECRET: quarterly numbers q3=41.2M q4=47.9M; " +
+			"merger target acquired; announce 03-15.")
+	packets := covert.Packetize(document)
+	fmt.Printf("document  : %d bytes -> %d packets\n", len(document), len(packets))
+
+	// The Fig. 10 office: 1.5 m, a 35 cm wall, printer and fridge in
+	// the band.
+	reasm := covert.NewReassembler()
+	attempt := 0
+	sendPacket := func(p covert.Packet) bool {
+		attempt++
+		tb := core.NLoSOffice(int64(40 + attempt))
+		// Slow, reliable signaling for the through-wall path.
+		res := tb.RunCovert(core.CovertConfig{
+			SleepPeriod: 9 * tb.Profile.DefaultSleepPeriod,
+			Payload:     ecc.BytesToBits(covert.PacketBody(p)),
+		})
+		if !res.PayloadOK {
+			return false
+		}
+		bits, _, _ := res.Demod.RecoverPayloadN(res.TXCfg, len(covert.PacketBody(p))*8)
+		got, ok := covert.ParsePacket(bits)
+		if !ok || got.Seq != p.Seq {
+			return false
+		}
+		reasm.Add(got)
+		return true
+	}
+
+	fmt.Println("first pass:")
+	for _, p := range packets {
+		ok := sendPacket(p)
+		status := "ok"
+		if !ok {
+			status = "LOST"
+		}
+		fmt.Printf("  packet %2d (%2d bytes): %s\n", p.Seq, len(p.Payload), status)
+	}
+
+	// Selective retransmission: the sender repeats exactly the
+	// sequence numbers the receiver has not acknowledged.
+	for round := 0; round < 6 && !reasm.Complete(); round++ {
+		var missing []int
+		for _, p := range packets {
+			if !reasm.Has(p.Seq) {
+				missing = append(missing, p.Seq)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		fmt.Printf("retransmit round %d: missing %v\n", round+1, missing)
+		for _, seq := range missing {
+			sendPacket(packets[seq])
+		}
+	}
+	if !reasm.Complete() {
+		log.Fatalf("transfer incomplete after retransmissions: missing %v", reasm.Missing())
+	}
+	got := reasm.Bytes()
+	fmt.Printf("\nrecovered : %q\n", string(got))
+	if string(got) == string(document) {
+		fmt.Printf("document exfiltrated bit-exactly in %d transmissions\n", attempt)
+	}
+}

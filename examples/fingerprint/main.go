@@ -1,0 +1,49 @@
+// Fingerprint: attack model (ii-b) from §III. The processor's activity
+// duration while handling a task leaks through the VRM side channel, so
+// an attacker who profiles how long each website takes to render can
+// tell which one the victim just opened — without any network access.
+//
+// This example drives the internal/fingerprint package: a profiling
+// phase on the attacker's reference machine, then classification of
+// victim page loads from the EM side channel alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/fingerprint"
+)
+
+func main() {
+	mkTB := func(seed int64) *core.Testbed {
+		return core.NewTestbed(core.WithSeed(seed))
+	}
+	catalog := fingerprint.DefaultCatalog()
+
+	fmt.Println("profiling phase (attacker's reference machine):")
+	clf, err := fingerprint.Train(mkTB, catalog, 3, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range clf.Profiles {
+		fmt.Printf("  %-16s %.0f ms of activity (±%.1f ms over %d trials)\n",
+			p.Name, p.MeanS*1e3, p.StdS*1e3, p.Trials)
+	}
+	fmt.Printf("  class separability: %.1f sigma\n", clf.Separability())
+
+	fmt.Println("\nattack phase (victim's machine, EM side channel only):")
+	res := fingerprint.Evaluate(clf, mkTB, catalog, 3, 500)
+	for truth, row := range res.Confusion {
+		for guess, n := range row {
+			mark := ""
+			if guess == truth {
+				mark = "  <- correct"
+			}
+			fmt.Printf("  %-16s -> %-16s x%d%s\n", truth, guess, n, mark)
+		}
+	}
+	fmt.Printf("\nidentified %d/%d page loads (%.0f%% accuracy) from EM emanations alone\n",
+		res.Correct, res.Trials, 100*res.Accuracy())
+}

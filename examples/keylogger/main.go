@@ -1,0 +1,78 @@
+// Keylogger: the §V attack. A user types a passphrase into a browser on
+// an otherwise-idle laptop; an attacker two meters away watches the VRM
+// spectral spike and recovers each keystroke's timing, then groups the
+// keystrokes into words — the first stage of the Berger-style
+// dictionary attack the paper builds on.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/keylog"
+	"pmuleak/internal/laptop"
+	"pmuleak/internal/sdr"
+)
+
+func main() {
+	prof, _ := laptop.ByModel("Dell Precision 7290")
+	tb := core.NewTestbed(
+		core.WithLaptop(prof),
+		core.WithDistance(2.0),
+		core.WithAntenna(sdr.LoopLA390),
+		core.WithSeed(3),
+	)
+
+	passphrase := "correct horse battery staple"
+	res := tb.RunKeylog(core.KeylogConfig{Text: passphrase})
+
+	fmt.Printf("victim types: %q on %s\n", passphrase, prof)
+	fmt.Printf("attacker    : loop antenna at 2 m\n\n")
+	fmt.Printf("keystrokes  : %d typed, %d detected (TPR %.0f%%, FPR %.1f%%)\n",
+		res.Char.Truth, res.Char.Detected, 100*res.Char.TPR, 100*res.Char.FPR)
+
+	groups := keylog.GroupWords(res.Detection.Keystrokes, 0)
+	lengths := keylog.PredictedWordLengths(groups)
+	var parts []string
+	for _, n := range lengths {
+		parts = append(parts, strings.Repeat("?", n))
+	}
+	fmt.Printf("inferred    : %s\n", strings.Join(parts, " "))
+	fmt.Printf("truth       : %s\n", passphrase)
+	fmt.Printf("word lengths: precision %.0f%%, recall %.0f%%\n",
+		100*res.Word.Precision, 100*res.Word.Recall)
+	// Dictionary attack (§V-B, Berger-style): rank same-length words by
+	// how well their Salthouse-predicted timing matches the observation.
+	fmt.Println("\ndictionary attack on each recovered word:")
+	truth := strings.Fields(passphrase)
+	for i, g := range groups {
+		cands := keylog.RankWord(g, keylog.CommonWords(), keylog.DefaultTypistConfig())
+		show := cands
+		if len(show) > 3 {
+			show = show[:3]
+		}
+		var names []string
+		for _, c := range show {
+			names = append(names, c.Word)
+		}
+		line := fmt.Sprintf("  word %d (%d letters): top guesses %v", i+1, len(g), names)
+		if i < len(truth) {
+			if r := keylog.Rank(cands, truth[i]); r > 0 {
+				line += fmt.Sprintf("   [truth %q ranked #%d of %d]", truth[i], r, len(cands))
+			}
+		}
+		fmt.Println(line)
+	}
+
+	hints := keylog.AnalyzeTiming(res.Detection.Keystrokes)
+	bits, informative := keylog.SearchSpaceReduction(hints, keylog.DefaultTypistConfig())
+	fmt.Printf("timing      : %d informative digraph intervals, ~%.0f bits of key-identity information\n",
+		informative, bits)
+	fmt.Println("\nWith word lengths and inter-key timing in hand, a dictionary")
+	fmt.Println("attack shrinks the passphrase search space dramatically (§V-B).")
+	if res.Char.TPR < 0.9 {
+		os.Exit(1)
+	}
+}

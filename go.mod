@@ -1,0 +1,3 @@
+module pmuleak
+
+go 1.22

@@ -1,0 +1,111 @@
+// Package align compares a transmitted bit sequence with the sequence a
+// receiver decoded, attributing every discrepancy to a substitution
+// (bit error), an insertion, or a deletion. The paper's Table II/III
+// metrics — BER, insertion probability (IP), deletion probability (DP) —
+// come from exactly this attribution.
+//
+// The implementation is a global (Needleman-Wunsch / Levenshtein)
+// alignment with unit costs, with the traceback choosing matches first
+// so clean channels always score zero everywhere.
+package align
+
+import "fmt"
+
+// Result summarizes an alignment of a received sequence against the
+// transmitted reference.
+type Result struct {
+	TxLen, RxLen  int
+	Matches       int
+	Substitutions int
+	Insertions    int // symbols present in RX but not TX
+	Deletions     int // symbols present in TX but missing from RX
+}
+
+// BER is the bit-error (substitution) rate relative to the transmitted
+// length.
+func (r Result) BER() float64 { return r.rate(r.Substitutions) }
+
+// InsertionProb is the insertion rate relative to the transmitted length.
+func (r Result) InsertionProb() float64 { return r.rate(r.Insertions) }
+
+// DeletionProb is the deletion rate relative to the transmitted length.
+func (r Result) DeletionProb() float64 { return r.rate(r.Deletions) }
+
+// ErrorRate is the combined edit-distance rate.
+func (r Result) ErrorRate() float64 {
+	return r.rate(r.Substitutions + r.Insertions + r.Deletions)
+}
+
+func (r Result) rate(n int) float64 {
+	if r.TxLen == 0 {
+		return 0
+	}
+	return float64(n) / float64(r.TxLen)
+}
+
+// String formats the headline metrics.
+func (r Result) String() string {
+	return fmt.Sprintf("BER=%.2e IP=%.2e DP=%.2e (tx=%d rx=%d)",
+		r.BER(), r.InsertionProb(), r.DeletionProb(), r.TxLen, r.RxLen)
+}
+
+// Sequences aligns rx against tx with unit edit costs and returns the
+// attribution. Memory is O(len(tx)*len(rx)); sequences of tens of
+// thousands of bits are fine.
+func Sequences(tx, rx []byte) Result {
+	n, m := len(tx), len(rx)
+	// dp[i][j] = edit distance between tx[:i] and rx[:j].
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+		dp[i][0] = int32(i)
+	}
+	for j := 0; j <= m; j++ {
+		dp[0][j] = int32(j)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			sub := dp[i-1][j-1]
+			if tx[i-1] != rx[j-1] {
+				sub++
+			}
+			del := dp[i-1][j] + 1 // tx symbol missing from rx
+			ins := dp[i][j-1] + 1 // extra rx symbol
+			best := sub
+			if del < best {
+				best = del
+			}
+			if ins < best {
+				best = ins
+			}
+			dp[i][j] = best
+		}
+	}
+	// Traceback, preferring matches/substitutions to keep attribution
+	// conventional.
+	res := Result{TxLen: n, RxLen: m}
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1] && tx[i-1] == rx[j-1]:
+			res.Matches++
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+1:
+			res.Substitutions++
+			i, j = i-1, j-1
+		case i > 0 && dp[i][j] == dp[i-1][j]+1:
+			res.Deletions++
+			i--
+		default:
+			res.Insertions++
+			j--
+		}
+	}
+	return res
+}
+
+// Distance returns just the edit distance between the sequences.
+func Distance(tx, rx []byte) int {
+	r := Sequences(tx, rx)
+	return r.Substitutions + r.Insertions + r.Deletions
+}

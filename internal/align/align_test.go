@@ -1,0 +1,191 @@
+package align
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pmuleak/internal/xrand"
+)
+
+func bits(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for _, c := range s {
+		out = append(out, byte(c-'0'))
+	}
+	return out
+}
+
+func TestIdentical(t *testing.T) {
+	r := Sequences(bits("10110"), bits("10110"))
+	if r.Substitutions != 0 || r.Insertions != 0 || r.Deletions != 0 {
+		t.Fatalf("clean alignment has errors: %+v", r)
+	}
+	if r.Matches != 5 {
+		t.Fatalf("Matches = %d", r.Matches)
+	}
+	if r.BER() != 0 || r.ErrorRate() != 0 {
+		t.Fatal("rates nonzero")
+	}
+}
+
+func TestSingleSubstitution(t *testing.T) {
+	r := Sequences(bits("10110"), bits("10010"))
+	if r.Substitutions != 1 || r.Insertions != 0 || r.Deletions != 0 {
+		t.Fatalf("%+v", r)
+	}
+	if r.BER() != 0.2 {
+		t.Fatalf("BER = %v", r.BER())
+	}
+}
+
+func TestSingleDeletion(t *testing.T) {
+	r := Sequences(bits("10110"), bits("1010"))
+	if r.Deletions != 1 || r.Substitutions != 0 || r.Insertions != 0 {
+		t.Fatalf("%+v", r)
+	}
+	if r.DeletionProb() != 0.2 {
+		t.Fatalf("DP = %v", r.DeletionProb())
+	}
+}
+
+func TestSingleInsertion(t *testing.T) {
+	r := Sequences(bits("1010"), bits("10110"))
+	if r.Insertions != 1 || r.Substitutions != 0 || r.Deletions != 0 {
+		t.Fatalf("%+v", r)
+	}
+	if r.InsertionProb() != 0.25 {
+		t.Fatalf("IP = %v", r.InsertionProb())
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	r := Sequences(nil, nil)
+	if r.ErrorRate() != 0 {
+		t.Fatalf("%+v", r)
+	}
+	r = Sequences(bits("111"), nil)
+	if r.Deletions != 3 {
+		t.Fatalf("%+v", r)
+	}
+	r = Sequences(nil, bits("11"))
+	if r.Insertions != 2 {
+		t.Fatalf("%+v", r)
+	}
+	if r.BER() != 0 { // TxLen 0 => rates 0, not NaN
+		t.Fatal("rate with empty tx not zero")
+	}
+}
+
+func TestMixedErrors(t *testing.T) {
+	// tx: 1 0 1 1 0 0 1 ; rx drops the first 1, flips bit 4 (0->1),
+	// and appends an extra 0.
+	tx := bits("1011001")
+	rx := bits("01110010")
+	r := Sequences(tx, rx)
+	total := r.Substitutions + r.Insertions + r.Deletions
+	if total != Distance(tx, rx) {
+		t.Fatalf("attribution %d doesn't match distance %d", total, Distance(tx, rx))
+	}
+	if total > 3 {
+		t.Fatalf("distance = %d, want <= 3", total)
+	}
+}
+
+func TestDistanceKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"1", "0", 1},
+		{"101", "101", 0},
+		{"1111", "0000", 4},
+		{"10101", "0101", 1},
+		{"110", "011", 2},
+	}
+	for _, c := range cases {
+		if got := Distance(bits(c.a), bits(c.b)); got != c.want {
+			t.Errorf("Distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAccountingInvariant(t *testing.T) {
+	// Matches+Subs+Dels == TxLen and Matches+Subs+Ins == RxLen, always.
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		tx := rng.Bits(rng.Intn(200))
+		rx := rng.Bits(rng.Intn(200))
+		r := Sequences(tx, rx)
+		return r.Matches+r.Substitutions+r.Deletions == r.TxLen &&
+			r.Matches+r.Substitutions+r.Insertions == r.RxLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetryOfDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		a := rng.Bits(rng.Intn(100))
+		b := rng.Bits(rng.Intn(100))
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		a := rng.Bits(rng.Intn(60))
+		b := rng.Bits(rng.Intn(60))
+		c := rng.Bits(rng.Intn(60))
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealisticChannelAttribution(t *testing.T) {
+	// Simulate a channel with known error counts and verify recovery.
+	rng := xrand.New(99)
+	tx := rng.Bits(2000)
+	rx := make([]byte, 0, len(tx))
+	subs, dels, ins := 0, 0, 0
+	for _, b := range tx {
+		switch {
+		case rng.Bool(0.005): // deletion
+			dels++
+		case rng.Bool(0.005): // substitution
+			rx = append(rx, b^1)
+			subs++
+		default:
+			rx = append(rx, b)
+		}
+		if rng.Bool(0.002) { // insertion
+			rx = append(rx, byte(rng.Intn(2)))
+			ins++
+		}
+	}
+	r := Sequences(tx, rx)
+	// Alignment may find a slightly cheaper explanation, never a more
+	// expensive one.
+	if got, injected := r.Substitutions+r.Insertions+r.Deletions, subs+dels+ins; got > injected {
+		t.Fatalf("alignment found %d errors, injected %d", got, injected)
+	} else if got < injected/2 {
+		t.Fatalf("alignment found only %d of %d injected errors", got, injected)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Sequences(bits("111"), bits("101"))
+	s := r.String()
+	if !strings.Contains(s, "BER=") || !strings.Contains(s, "tx=3") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,124 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllChannelsPresent(t *testing.T) {
+	chans := All()
+	if len(chans) != 7 {
+		t.Fatalf("got %d channels, want the 7 Fig. 9 baselines", len(chans))
+	}
+	seen := map[string]bool{}
+	for _, ch := range chans {
+		if ch.Name() == "" || ch.Reference() == "" {
+			t.Errorf("channel missing metadata: %q %q", ch.Name(), ch.Reference())
+		}
+		if seen[ch.Name()] {
+			t.Errorf("duplicate channel %q", ch.Name())
+		}
+		seen[ch.Name()] = true
+		if ch.MaxSymbolRate() <= 0 {
+			t.Errorf("%s: non-positive symbol cap", ch.Name())
+		}
+	}
+}
+
+func TestBERImprovesAtLowerRates(t *testing.T) {
+	for _, ch := range All() {
+		fast := ch.SimulateBER(ch.MaxSymbolRate(), 3000, 1)
+		slow := ch.SimulateBER(ch.MaxSymbolRate()/20, 3000, 1)
+		if slow > fast+0.02 {
+			t.Errorf("%s: BER at low rate (%v) worse than at cap (%v)",
+				ch.Name(), slow, fast)
+		}
+	}
+}
+
+func TestMaxRateRespectsTarget(t *testing.T) {
+	for _, ch := range All() {
+		rate := MaxRate(ch, 1e-2, 3000, 2)
+		if rate <= 0 {
+			t.Errorf("%s: no achievable rate", ch.Name())
+			continue
+		}
+		if ber := ch.SimulateBER(rate, 3000, 2); ber > 1e-2 {
+			t.Errorf("%s: returned rate %v has BER %v > target", ch.Name(), rate, ber)
+		}
+		if rate > ch.MaxSymbolRate() {
+			t.Errorf("%s: rate %v above mechanism cap %v", ch.Name(), rate, ch.MaxSymbolRate())
+		}
+	}
+}
+
+func TestMaxRateDeterministic(t *testing.T) {
+	for _, ch := range All() {
+		if MaxRate(ch, 1e-2, 2000, 7) != MaxRate(ch, 1e-2, 2000, 7) {
+			t.Errorf("%s: MaxRate not deterministic", ch.Name())
+		}
+	}
+}
+
+func TestPublishedRateBands(t *testing.T) {
+	// The models must land in the bands the original papers report;
+	// Fig. 9's shape depends on this ordering.
+	bands := map[string][2]float64{
+		"GSMem":     {500, 2000},
+		"USBee":     {300, 1000},
+		"AirHopper": {100, 480},
+		"POWERT":    {30, 300},
+		"DFS":       {20, 200},
+		"Acoustic":  {10, 100},
+		"Thermal":   {0.3, 30},
+	}
+	for _, row := range Compare(1e-2, 4000, 3) {
+		band, ok := bands[row.Name]
+		if !ok {
+			t.Errorf("unexpected channel %q", row.Name)
+			continue
+		}
+		if row.Rate < band[0] || row.Rate > band[1] {
+			t.Errorf("%s: rate %.0f bps outside published band [%v, %v]",
+				row.Name, row.Rate, band[0], band[1])
+		}
+	}
+}
+
+func TestGSMemIsFastestBaseline(t *testing.T) {
+	rows := Compare(1e-2, 4000, 4)
+	var gsmem, best float64
+	var bestName string
+	for _, r := range rows {
+		if r.Name == "GSMem" {
+			gsmem = r.Rate
+		}
+		if r.Rate > best {
+			best, bestName = r.Rate, r.Name
+		}
+	}
+	if bestName != "GSMem" || gsmem != best {
+		t.Fatalf("fastest baseline = %s (%v), want GSMem", bestName, best)
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{Name: "GSMem", Reference: "ref", Rate: 1000}
+	if s := r.String(); !strings.Contains(s, "GSMem") || !strings.Contains(s, "1000") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDegenerateRates(t *testing.T) {
+	// Rates above what the mechanism can express must fail hard, not
+	// silently succeed.
+	if ber := (DFS{}).SimulateBER(1000, 500, 5); ber < 0.3 {
+		t.Errorf("DFS above transition limit: BER %v", ber)
+	}
+	if ber := (POWERT{}).SimulateBER(1000, 500, 5); ber < 0.3 {
+		t.Errorf("POWERT above arbitration limit: BER %v", ber)
+	}
+	if ber := (USBee{}).SimulateBER(2500, 500, 5); ber < 0.3 {
+		t.Errorf("USBee above frame rate: BER %v", ber)
+	}
+}

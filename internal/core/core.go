@@ -1,0 +1,462 @@
+// Package core is the library's public face: it assembles a target
+// laptop, a propagation path, and a receiver into a Testbed, and exposes
+// one method per attack or experiment in the paper — covert-channel
+// transfers (§IV), rate search at a BER target (Tables II/III),
+// keystroke logging (§V), micro-benchmark spectrograms (Figs. 2 and 11),
+// and the §III power-state ablation.
+//
+// Examples and command-line tools use only this package plus the option
+// types it re-exports.
+package core
+
+import (
+	"fmt"
+
+	"pmuleak/internal/covert"
+	"pmuleak/internal/dsp"
+	"pmuleak/internal/emchannel"
+	"pmuleak/internal/kernel"
+	"pmuleak/internal/keylog"
+	"pmuleak/internal/laptop"
+	"pmuleak/internal/sdr"
+	"pmuleak/internal/sim"
+	"pmuleak/internal/workload"
+	"pmuleak/internal/xrand"
+)
+
+// Testbed is one measurement setup: a target laptop, the EM path to the
+// attacker's antenna, and the receiver. Construct with NewTestbed.
+type Testbed struct {
+	Profile laptop.Profile
+	Channel emchannel.Config
+	Radio   sdr.Config
+	Seed    int64
+}
+
+// Option mutates a Testbed during construction.
+type Option func(*Testbed)
+
+// WithLaptop selects the target device (default: the Dell Inspiron the
+// paper uses for its figures).
+func WithLaptop(p laptop.Profile) Option {
+	return func(tb *Testbed) { tb.Profile = p }
+}
+
+// WithDistance places the antenna d meters from the laptop's VRM.
+func WithDistance(d float64) Option {
+	return func(tb *Testbed) { tb.Channel.DistanceM = d }
+}
+
+// WithWall inserts a wall with the given penetration loss (power dB)
+// into the path — the paper's 35 cm structural wall is ~15 dB at these
+// frequencies.
+func WithWall(lossDB float64) Option {
+	return func(tb *Testbed) { tb.Channel.WallLossDB = lossDB }
+}
+
+// WithAntenna selects the pickup device. Distance work needs
+// sdr.LoopLA390; the near-field default is sdr.CoilProbe.
+func WithAntenna(a sdr.Antenna) Option {
+	return func(tb *Testbed) { tb.Radio.Antenna = a }
+}
+
+// WithInterference adds environmental EM sources to the path.
+func WithInterference(in ...emchannel.Interferer) Option {
+	return func(tb *Testbed) { tb.Channel.Interferers = append(tb.Channel.Interferers, in...) }
+}
+
+// WithNoise overrides the environmental noise floor (per-component
+// standard deviation at the antenna).
+func WithNoise(sigma float64) Option {
+	return func(tb *Testbed) { tb.Channel.NoiseSigma = sigma }
+}
+
+// WithSeed sets the experiment seed; every stochastic element derives
+// from it, so equal seeds reproduce bit-exact results.
+func WithSeed(seed int64) Option {
+	return func(tb *Testbed) { tb.Seed = seed }
+}
+
+// NewTestbed builds the paper's default setup: Dell Inspiron target,
+// coil probe at 10 cm, RTL-SDR at 2.4 MS/s.
+func NewTestbed(opts ...Option) *Testbed {
+	tb := &Testbed{
+		Profile: laptop.Reference(),
+		Channel: emchannel.DefaultConfig(),
+		Radio:   sdr.DefaultConfig(),
+		Seed:    1,
+	}
+	for _, opt := range opts {
+		opt(tb)
+	}
+	return tb
+}
+
+// NLoSOffice returns the Fig. 10 setup: loop antenna 1.5 m away behind a
+// 35 cm wall, with the printer and refrigerator interferers present.
+func NLoSOffice(seed int64) *Testbed {
+	return NewTestbed(
+		WithDistance(1.5),
+		WithWall(15),
+		WithAntenna(sdr.LoopLA390),
+		WithInterference(
+			emchannel.OfficePrinter(0.002),
+			emchannel.Refrigerator(0.0015),
+			emchannel.OfficeBroadband(0.001),
+		),
+		WithSeed(seed),
+	)
+}
+
+// CovertConfig parameterizes one covert-channel run.
+type CovertConfig struct {
+	// SleepPeriod is the transmitter's SLEEP_PERIOD; zero uses the
+	// profile's default (the paper's per-OS choice).
+	SleepPeriod sim.Time
+	// PayloadBits sets the random payload size when Payload is nil.
+	PayloadBits int
+	// Payload transmits specific bits instead of a random payload.
+	Payload []byte
+	// Code selects the error-control code (default Hamming(7,4)).
+	Code covert.Coding
+	// Background adds the §IV-C2 resource-intensive background
+	// process on the target.
+	Background bool
+	// RXHarmonics overrides the receiver's Eq. (1) harmonic count
+	// (|S|); zero keeps the default of two.
+	RXHarmonics int
+	// Interleave sets the transmitter's block-interleave depth
+	// (values > 1 spread burst errors across codewords).
+	Interleave int
+}
+
+func (c *CovertConfig) fill(tb *Testbed) {
+	if c.SleepPeriod == 0 {
+		c.SleepPeriod = tb.Profile.DefaultSleepPeriod
+	}
+	if c.PayloadBits == 0 {
+		c.PayloadBits = 256
+	}
+}
+
+// CovertResult bundles a covert run's metrics with the receiver's
+// intermediate traces (the paper's Figs. 4-7 are plots of these).
+type CovertResult struct {
+	covert.Measurement
+	Run     *covert.TxRun
+	Demod   *covert.Demod
+	Payload []byte
+	TXCfg   covert.TXConfig
+}
+
+// RunCovert executes one full covert transfer: transmitter process on
+// the simulated laptop, EM emission, propagation, SDR capture, and the
+// batch-processing demodulator.
+func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
+	cfg.fill(tb)
+	sys := laptop.NewSystem(tb.Profile, tb.Seed)
+	defer sys.Close()
+
+	txCfg := covert.DefaultTXConfig(cfg.SleepPeriod)
+	if cfg.Code != covert.CodeHamming74 {
+		txCfg.Code = cfg.Code
+	}
+	txCfg.InterleaveDepth = cfg.Interleave
+	payload := cfg.Payload
+	if payload == nil {
+		payload = xrand.New(tb.Seed + 7919).Bits(cfg.PayloadBits)
+	}
+	frame := covert.EncodeFrame(payload, txCfg)
+	run := covert.SpawnTransmitter(sys.Kernel(), frame, txCfg)
+
+	if cfg.Background {
+		spawnBackgroundHog(sys.Kernel(), tb.Seed+31)
+	}
+
+	horizon := covert.AirtimeEstimate(frame, txCfg, tb.Profile.Kernel)
+	sys.Run(horizon)
+
+	plan := sys.DefaultPlan()
+	plan.SampleRate = tb.Radio.SampleRate
+	field := sys.Emanations(horizon, plan)
+	rng := xrand.New(tb.Seed + 104729)
+	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng)
+	cap := sdr.Acquire(field, plan.CenterFreqHz, tb.Radio, rng.Fork())
+
+	rxCfg := covert.DefaultRXConfig()
+	rxCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
+	rxCfg.MinBitPeriod = txCfg.BitPeriod() / 2
+	if cfg.RXHarmonics > 0 {
+		rxCfg.NumHarmonics = cfg.RXHarmonics
+	}
+	demod := covert.Demodulate(cap, rxCfg)
+
+	return &CovertResult{
+		Measurement: covert.Measure(run, demod, txCfg, payload),
+		Run:         run,
+		Demod:       demod,
+		Payload:     payload,
+		TXCfg:       txCfg,
+	}
+}
+
+// spawnBackgroundHog runs the §IV-C2 resource-intensive background
+// activity. The paper observes the OS schedules such work as short
+// bursts, most smaller than one sleep/active period (harmless), with
+// occasional longer ones that corrupt a bit and force the transmitter
+// to slow down modestly (~15% TR).
+func spawnBackgroundHog(k *kernel.Kernel, seed int64) {
+	rng := xrand.New(seed)
+	k.Spawn("background-hog", func(p *kernel.Proc) {
+		for {
+			burst := sim.Time(rng.Uniform(float64(8*sim.Microsecond), float64(40*sim.Microsecond)))
+			if rng.Bool(0.12) {
+				// Occasional long burst spanning a whole bit period.
+				burst = sim.Time(rng.Uniform(float64(250*sim.Microsecond), float64(500*sim.Microsecond)))
+			}
+			p.Busy(burst)
+			p.Sleep(sim.Time(rng.Uniform(float64(2*sim.Millisecond), float64(6*sim.Millisecond))))
+		}
+	})
+}
+
+// RateSearch finds the highest transmission rate whose channel error
+// rate stays at or below targetBER by lengthening the sleep period in
+// geometric steps — the procedure behind Tables II and III. It returns
+// the passing run (or the slowest attempted run if none passes, with
+// ok=false).
+func (tb *Testbed) RateSearch(targetBER float64, cfg CovertConfig) (*CovertResult, bool) {
+	cfg.fill(tb)
+	base := cfg.SleepPeriod
+	var last *CovertResult
+	for scale := 1.0; scale <= 12; scale *= 1.3 {
+		attempt := cfg
+		attempt.SleepPeriod = sim.Time(float64(base) * scale)
+		res := tb.RunCovert(attempt)
+		last = res
+		if res.ErrorRate() <= targetBER && len(res.Demod.Bits) > 0 {
+			return res, true
+		}
+	}
+	return last, false
+}
+
+// KeylogConfig parameterizes a §V keystroke-logging run.
+type KeylogConfig struct {
+	// Text is typed verbatim; when empty, Words random pseudo-words
+	// are generated.
+	Text  string
+	Words int
+	// Typist and Handling override the human and host models.
+	Typist   *keylog.TypistConfig
+	Handling *keylog.HandlingConfig
+	// Detector overrides the receiver's detector settings (for
+	// example a finer STFT window when keystroke timing precision
+	// matters more than runtime).
+	Detector *keylog.DetectorConfig
+}
+
+// KeylogResult carries the Table IV metrics plus everything needed to
+// render Fig. 11.
+type KeylogResult struct {
+	Text      string
+	Events    []keylog.KeyEvent
+	Detection *keylog.Detection
+	Char      keylog.CharScore
+	Word      keylog.WordScore
+}
+
+// keylogPlan is the narrowband tuning used for keystroke detection: the
+// fundamental spike in a 240 kHz capture, which keeps multi-second
+// captures tractable.
+func (tb *Testbed) keylogPlan() laptop.EmanationPlan {
+	return laptop.EmanationPlan{
+		SampleRate:   240e3,
+		CenterFreqHz: tb.Profile.VRM.SwitchingFreqHz - 60e3,
+		Harmonics:    1,
+	}
+}
+
+// RunKeylog executes a full keystroke-logging attack.
+func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
+	text := cfg.Text
+	if text == "" {
+		n := cfg.Words
+		if n == 0 {
+			n = 50
+		}
+		text = keylog.RandomWords(n, xrand.New(tb.Seed+13))
+	}
+	typist := keylog.DefaultTypistConfig()
+	if cfg.Typist != nil {
+		typist = *cfg.Typist
+	}
+	handling := keylog.DefaultHandlingConfig()
+	if cfg.Handling != nil {
+		handling = *cfg.Handling
+	}
+
+	sys := laptop.NewSystem(tb.Profile, tb.Seed)
+	defer sys.Close()
+	rng := xrand.New(tb.Seed + 500)
+	events := keylog.Type(text, 200*sim.Millisecond, typist, rng)
+	horizon := keylog.SessionHorizon(events)
+	keylog.Inject(sys.Kernel(), events, horizon, handling, rng.Fork())
+	sys.Run(horizon)
+
+	plan := tb.keylogPlan()
+	field := sys.Emanations(horizon, plan)
+	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng.Fork())
+	radio := tb.Radio
+	radio.SampleRate = plan.SampleRate
+	cap := sdr.Acquire(field, plan.CenterFreqHz, radio, rng.Fork())
+
+	detCfg := keylog.DefaultDetectorConfig()
+	if cfg.Detector != nil {
+		detCfg = *cfg.Detector
+	}
+	detCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
+	det := keylog.Detect(cap, detCfg)
+
+	groups := keylog.GroupWords(det.Keystrokes, 0)
+	return &KeylogResult{
+		Text:      text,
+		Events:    events,
+		Detection: det,
+		Char:      keylog.ScoreKeystrokes(events, det.Keystrokes, 30*sim.Millisecond),
+		Word:      keylog.ScoreWords(keylog.WordLengths(text), keylog.PredictedWordLengths(groups)),
+	}
+}
+
+// MicrobenchSpectrogram reproduces Fig. 2: the Fig. 1 micro-benchmark
+// (t1 of activity, t2 of idleness, repeated) rendered as a spectrogram
+// of the received emanations.
+func (tb *Testbed) MicrobenchSpectrogram(active, idle sim.Time, cycles int) *dsp.Spectrogram {
+	sys := laptop.NewSystem(tb.Profile, tb.Seed)
+	defer sys.Close()
+	workload.Microbench(sys.Kernel(), active, idle, cycles)
+	horizon := sim.Time(float64(active+idle)*float64(cycles)*1.3) + 2*sim.Millisecond
+	sys.Run(horizon)
+	plan := sys.DefaultPlan()
+	field := sys.Emanations(horizon, plan)
+	rng := xrand.New(tb.Seed + 104729)
+	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng)
+	cap := sdr.Acquire(field, plan.CenterFreqHz, tb.Radio, rng.Fork())
+	return dsp.STFT(cap.IQ, 1024, 512, dsp.Hann(1024), cap.SampleRate)
+}
+
+// KeylogSpectrogram renders the Fig. 11 view: the spectrogram of the
+// emanations while text is typed, plus the ground-truth key events.
+func (tb *Testbed) KeylogSpectrogram(text string) (*dsp.Spectrogram, []keylog.KeyEvent) {
+	sys := laptop.NewSystem(tb.Profile, tb.Seed)
+	defer sys.Close()
+	rng := xrand.New(tb.Seed + 500)
+	events := keylog.Type(text, 200*sim.Millisecond, keylog.DefaultTypistConfig(), rng)
+	horizon := keylog.SessionHorizon(events)
+	keylog.Inject(sys.Kernel(), events, horizon, keylog.DefaultHandlingConfig(), rng.Fork())
+	sys.Run(horizon)
+	plan := tb.keylogPlan()
+	field := sys.Emanations(horizon, plan)
+	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng.Fork())
+	radio := tb.Radio
+	radio.SampleRate = plan.SampleRate
+	cap := sdr.Acquire(field, plan.CenterFreqHz, radio, rng.Fork())
+	fft := 2048
+	return dsp.STFT(cap.IQ, fft, fft, dsp.Hann(fft), cap.SampleRate), events
+}
+
+// AblationRow is one configuration of the §III P/C-state experiment.
+type AblationRow struct {
+	Name              string
+	PStates, CStates  bool
+	SpikeOnOffRatio   float64 // band energy, active vs idle phases
+	MeanSpikeStrength float64 // absolute band energy (idle phases)
+}
+
+// StateAblation reproduces §III: the micro-benchmark runs under the
+// four BIOS combinations of P-/C-state enablement, and the band energy
+// at the VRM fundamental is compared between active and idle phases.
+// With either mechanism enabled the ratio is large (the signal exists);
+// with both disabled it collapses to ~1 while the idle-phase emission
+// stays strong.
+func (tb *Testbed) StateAblation(active, idle sim.Time, cycles int) []AblationRow {
+	combos := []struct {
+		name string
+		p, c bool
+	}{
+		{"P+C enabled", true, true},
+		{"C-states only", false, true},
+		{"P-states only", true, false},
+		{"both disabled", false, false},
+	}
+	var rows []AblationRow
+	for _, combo := range combos {
+		prof := tb.Profile
+		prof.Power.PStatesEnabled = combo.p
+		prof.Power.CStatesEnabled = combo.c
+
+		sys := laptop.NewSystem(prof, tb.Seed)
+		workload.Microbench(sys.Kernel(), active, idle, cycles)
+		horizon := sim.Time(float64(active+idle) * float64(cycles) * 1.2)
+		sys.Run(horizon)
+		plan := sys.DefaultPlan()
+		field := sys.Emanations(horizon, plan)
+		rng := xrand.New(tb.Seed + 104729)
+		field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng)
+		cap := sdr.Acquire(field, plan.CenterFreqHz, tb.Radio, rng.Fork())
+		sys.Close()
+
+		s := dsp.STFT(cap.IQ, 1024, 512, dsp.Hann(1024), cap.SampleRate)
+		col := s.Column(s.Bin(prof.VRM.SwitchingFreqHz - plan.CenterFreqHz))
+		hi := dsp.Quantile(col, 0.9)
+		lo := dsp.Quantile(col, 0.1)
+		if lo <= 0 {
+			lo = 1e-12
+		}
+		rows = append(rows, AblationRow{
+			Name:              combo.name,
+			PStates:           combo.p,
+			CStates:           combo.c,
+			SpikeOnOffRatio:   hi / lo,
+			MeanSpikeStrength: lo,
+		})
+	}
+	return rows
+}
+
+// ActivityDuration measures how long the processor stayed busy for a
+// single workload burst, as seen purely from the EM side channel — the
+// primitive behind the attack model's application/website
+// fingerprinting (§III, attack model ii-b).
+func (tb *Testbed) ActivityDuration(work sim.Time) (float64, error) {
+	sys := laptop.NewSystem(tb.Profile, tb.Seed)
+	defer sys.Close()
+	start := 20 * sim.Millisecond
+	sys.Kernel().InjectBurst(start, work)
+	horizon := start + work + 40*sim.Millisecond
+	sys.Run(horizon)
+	plan := tb.keylogPlan()
+	field := sys.Emanations(horizon, plan)
+	rng := xrand.New(tb.Seed + 104729)
+	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng)
+	radio := tb.Radio
+	radio.SampleRate = plan.SampleRate
+	cap := sdr.Acquire(field, plan.CenterFreqHz, radio, rng.Fork())
+
+	detCfg := keylog.DefaultDetectorConfig()
+	detCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
+	detCfg.MaxKeystroke = work + 500*sim.Millisecond
+	detCfg.MinKeystroke = 5 * sim.Millisecond
+	det := keylog.Detect(cap, detCfg)
+	if len(det.Keystrokes) == 0 {
+		return 0, fmt.Errorf("core: no activity burst detected")
+	}
+	// The longest detection is the workload burst.
+	best := det.Keystrokes[0]
+	for _, k := range det.Keystrokes[1:] {
+		if k.Duration() > best.Duration() {
+			best = k
+		}
+	}
+	return best.Duration(), nil
+}

@@ -1,0 +1,42 @@
+package covert_test
+
+import (
+	"fmt"
+
+	"pmuleak/internal/covert"
+	"pmuleak/internal/ecc"
+	"pmuleak/internal/sim"
+)
+
+// ExampleEncodeFrame shows the on-air frame structure: preamble, coded
+// payload, postamble.
+func ExampleEncodeFrame() {
+	cfg := covert.DefaultTXConfig(100 * sim.Microsecond)
+	payload := []byte{1, 0, 1, 1}
+	frame := covert.EncodeFrame(payload, cfg)
+	fmt.Printf("preamble %d + coded %d + postamble %d = %d on-air bits\n",
+		len(cfg.Preamble), cfg.InterleavedLen(len(payload)), len(cfg.Postamble), len(frame))
+	got, _ := covert.DecodePayloadN(frame[len(cfg.Preamble):], cfg, len(payload))
+	fmt.Println(got)
+	// Output:
+	// preamble 24 + coded 7 + postamble 2 = 33 on-air bits
+	// [1 0 1 1]
+}
+
+// ExamplePacketize shows the reliable framing layer.
+func ExamplePacketize() {
+	data := []byte("a document much longer than one packet payload")
+	packets := covert.Packetize(data)
+	r := covert.NewReassembler()
+	for _, p := range packets {
+		// (each packet would cross the EM channel here)
+		body := covert.PacketBody(p)
+		got, ok := covert.ParsePacket(ecc.BytesToBits(body))
+		if ok {
+			r.Add(got)
+		}
+	}
+	fmt.Println(len(packets), r.Complete(), string(r.Bytes()))
+	// Output:
+	// 4 true a document much longer than one packet payload
+}

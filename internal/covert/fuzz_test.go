@@ -1,0 +1,101 @@
+package covert
+
+import (
+	"bytes"
+	"testing"
+
+	"pmuleak/internal/ecc"
+	"pmuleak/internal/sim"
+)
+
+// Native fuzz targets. `go test` runs the seed corpus; `go test -fuzz`
+// explores further. The invariants are absence of panics and internal
+// consistency on arbitrary input.
+
+func FuzzParsePacket(f *testing.F) {
+	cfg := DefaultTXConfig(100 * sim.Microsecond)
+	good := TransmitPacket(Packet{Seq: 3, Payload: []byte("hello")}, cfg)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 1})
+	f.Add(bytes.Repeat([]byte{1}, 200))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Map arbitrary bytes onto a bit stream.
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		p, ok := ParsePacket(bits)
+		if !ok {
+			return
+		}
+		if p.Seq < 0 || p.Seq > 15 {
+			t.Fatalf("parsed seq %d out of range", p.Seq)
+		}
+		if len(p.Payload) < 1 || len(p.Payload) > MaxPacketPayload {
+			t.Fatalf("parsed payload length %d out of range", len(p.Payload))
+		}
+		// Anything that parses must re-serialize to a frame that
+		// parses back identically (CRC consistency).
+		onAir := TransmitPacket(p, cfg)
+		decoded, _ := DecodePayload(onAir[len(cfg.Preamble):], cfg)
+		p2, ok2 := ParsePacket(decoded)
+		if !ok2 || p2.Seq != p.Seq || !bytes.Equal(p2.Payload, p.Payload) {
+			t.Fatalf("re-serialization broke the packet: %+v vs %+v", p, p2)
+		}
+	})
+}
+
+func FuzzFindPreamble(f *testing.F) {
+	pre := DefaultPreamble()
+	f.Add([]byte{1, 0, 1, 0}, 2)
+	f.Add(append(append([]byte{0, 0}, pre...), 1, 1), 3)
+	f.Fuzz(func(t *testing.T, raw []byte, tol int) {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		if tol < 0 {
+			tol = -tol
+		}
+		tol %= 8
+		start, ok := FindPreamble(bits, pre, tol)
+		if !ok {
+			return
+		}
+		if start < len(pre) || start > len(bits) {
+			t.Fatalf("payload start %d out of bounds (len %d)", start, len(bits))
+		}
+	})
+}
+
+func FuzzDecodePayload(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0, 0, 1}, 0)
+	f.Add([]byte{}, 1)
+	f.Add(bytes.Repeat([]byte{1, 0}, 50), 2)
+	f.Fuzz(func(t *testing.T, raw []byte, codeSel int) {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		cfg := DefaultTXConfig(100 * sim.Microsecond)
+		switch codeSel % 3 {
+		case 0:
+			cfg.Code = CodeNone
+		case 1:
+			cfg.Code = CodeParity
+		default:
+			cfg.Code = CodeHamming74
+		}
+		payload, corrections := DecodePayload(bits, cfg)
+		if corrections < 0 {
+			t.Fatal("negative corrections")
+		}
+		for _, b := range payload {
+			if b > 1 {
+				t.Fatalf("non-bit %d in decoded payload", b)
+			}
+		}
+		_ = ecc.BitsToBytes(payload) // must not panic either
+	})
+}

@@ -1,0 +1,88 @@
+package covert
+
+import (
+	"fmt"
+
+	"pmuleak/internal/align"
+)
+
+// Measurement is the Table II/III row for one covert-channel run.
+type Measurement struct {
+	align.Result
+	// TransmitRate is the achieved on-air channel rate in bits/s.
+	TransmitRate float64
+	// SignalingTime is the receiver's per-bit duration estimate (s).
+	SignalingTime float64
+	// Corrections is the number of error-control corrections (or
+	// parity failures) during payload decode; -1 if the payload could
+	// not be synchronized.
+	Corrections int
+	// PayloadOK reports whether preamble sync and decode succeeded.
+	PayloadOK bool
+	// PayloadBER is the residual error rate of the decoded payload
+	// against the transmitted payload (after error correction).
+	PayloadBER float64
+}
+
+// String renders the headline numbers in the table's units.
+func (m Measurement) String() string {
+	return fmt.Sprintf("BER=%.1e TR=%.0fbps IP=%.1e DP=%.1e",
+		m.BER(), m.TransmitRate, m.InsertionProb(), m.DeletionProb())
+}
+
+// Measure aligns the receiver's decoded bit stream against the
+// transmitted frame and assembles the run's metrics. payload is the
+// pre-coding payload (pass nil to skip payload scoring).
+func Measure(run *TxRun, d *Demod, txCfg TXConfig, payload []byte) Measurement {
+	m := Measurement{
+		Result:        align.Sequences(run.Bits, d.Bits),
+		TransmitRate:  run.BitRate(),
+		SignalingTime: d.SignalingTime,
+		Corrections:   -1,
+	}
+	if payload != nil {
+		got, corrections, ok := d.RecoverPayloadN(txCfg, len(payload))
+		m.PayloadOK = ok
+		if ok {
+			m.Corrections = corrections
+			if len(got) > len(payload) {
+				got = got[:len(payload)]
+			}
+			m.PayloadBER = align.Sequences(payload, got).ErrorRate()
+		}
+	}
+	return m
+}
+
+// Average pools several runs of the same configuration, as the paper
+// does (five runs per laptop for Table II).
+func Average(runs []Measurement) Measurement {
+	if len(runs) == 0 {
+		return Measurement{}
+	}
+	var out Measurement
+	okCount := 0
+	for _, r := range runs {
+		out.TxLen += r.TxLen
+		out.RxLen += r.RxLen
+		out.Matches += r.Matches
+		out.Substitutions += r.Substitutions
+		out.Insertions += r.Insertions
+		out.Deletions += r.Deletions
+		out.TransmitRate += r.TransmitRate
+		out.SignalingTime += r.SignalingTime
+		out.PayloadBER += r.PayloadBER
+		if r.PayloadOK {
+			okCount++
+			if r.Corrections > 0 {
+				out.Corrections += r.Corrections
+			}
+		}
+	}
+	n := float64(len(runs))
+	out.TransmitRate /= n
+	out.SignalingTime /= n
+	out.PayloadBER /= n
+	out.PayloadOK = okCount == len(runs)
+	return out
+}

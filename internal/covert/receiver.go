@@ -1,0 +1,540 @@
+package covert
+
+import (
+	"fmt"
+	"math"
+
+	"pmuleak/internal/dsp"
+	"pmuleak/internal/sdr"
+	"pmuleak/internal/sim"
+)
+
+// RXConfig parameterizes the receiver's detection pipeline.
+type RXConfig struct {
+	// FFTSize is the PSD resolution used for carrier search and
+	// carrier detection (M in Eq. (1) terms).
+	FFTSize int
+	// NumHarmonics is |S|: how many VRM spectral spikes to sum.
+	NumHarmonics int
+	// ExpectedF0 is the VRM switching frequency hint (Hz). When zero
+	// the receiver locates the spikes itself from the capture's PSD.
+	ExpectedF0 float64
+	// DecimateFactor reduces the per-sample acquisition trace before
+	// edge detection.
+	DecimateFactor int
+	// MinBitPeriod bounds the shortest plausible signaling period and
+	// sizes the first-pass edge kernel.
+	MinBitPeriod sim.Time
+	// TrackerTimeConstant is the acquisition tracker's response time.
+	// Zero derives it from MinBitPeriod (a quarter of it).
+	TrackerTimeConstant sim.Time
+	// HistBins is the resolution of the power histogram used for
+	// threshold selection (Fig. 7).
+	HistBins int
+	// BatchBits is the approximate number of bit periods per
+	// batch-processing window (§IV-B2).
+	BatchBits int
+	// CarrierMinZ is the minimum robust z-score of the spike bin above
+	// the PSD floor for the capture to be considered to contain a VRM
+	// carrier at all. Below it the demodulator reports no bits.
+	CarrierMinZ float64
+}
+
+// DefaultRXConfig mirrors the paper's receiver: 1024-point spectral
+// analysis, fundamental plus first harmonic.
+func DefaultRXConfig() RXConfig {
+	return RXConfig{
+		FFTSize:        1024,
+		NumHarmonics:   2,
+		DecimateFactor: 8,
+		MinBitPeriod:   100 * sim.Microsecond,
+		HistBins:       48,
+		BatchBits:      50,
+		CarrierMinZ:    12,
+	}
+}
+
+// Validate reports configuration errors.
+func (c RXConfig) Validate() error {
+	if !dsp.IsPowerOfTwo(c.FFTSize) {
+		return fmt.Errorf("covert: FFTSize %d not a power of two", c.FFTSize)
+	}
+	if c.NumHarmonics < 1 {
+		return fmt.Errorf("covert: NumHarmonics must be >= 1")
+	}
+	if c.DecimateFactor < 1 {
+		return fmt.Errorf("covert: DecimateFactor must be >= 1")
+	}
+	if c.MinBitPeriod <= 0 {
+		return fmt.Errorf("covert: MinBitPeriod must be positive")
+	}
+	if c.TrackerTimeConstant < 0 {
+		return fmt.Errorf("covert: negative TrackerTimeConstant")
+	}
+	if c.HistBins < 4 {
+		return fmt.Errorf("covert: HistBins must be >= 4")
+	}
+	if c.BatchBits < 4 {
+		return fmt.Errorf("covert: BatchBits must be >= 4")
+	}
+	if c.CarrierMinZ <= 0 {
+		return fmt.Errorf("covert: CarrierMinZ must be positive")
+	}
+	return nil
+}
+
+// Demod holds the receiver's intermediate traces and the decoded bits.
+// The intermediates are retained because the paper's figures (4-7) are
+// exactly these signals.
+type Demod struct {
+	// CarrierFound reports whether the capture contained VRM spikes.
+	CarrierFound bool
+	// Offsets are the baseband frequencies (Hz) summed in the Eq. (1)
+	// acquisition.
+	Offsets []float64
+	// Y is the decimated acquisition trace.
+	Y []float64
+	// DT is the seconds-per-sample of Y (and Conv).
+	DT float64
+	// Conv is the final edge-detection convolution trace (Fig. 5).
+	Conv []float64
+	// Starts are the detected (and gap-filled) bit start indices in Y.
+	Starts []int
+	// RawDistances are the inter-start distances (seconds) before gap
+	// filling — the Fig. 6 pulse-width sample set.
+	RawDistances []float64
+	// SignalingTime is the estimated per-bit duration (seconds): the
+	// median of RawDistances.
+	SignalingTime float64
+	// Inserted counts synthetic starts added by gap filling.
+	Inserted int
+	// Powers are the per-bit average powers (Eq. 2), and Threshold the
+	// bimodal decision threshold (Fig. 7).
+	Powers    []float64
+	Threshold float64
+	// Bits is the decoded on-air bit sequence.
+	Bits []byte
+}
+
+// Demodulate runs the full §IV-B pipeline over a capture.
+func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Demod{}
+	if len(cap.IQ) < 4*cfg.FFTSize {
+		return d
+	}
+
+	// 1. Locate the VRM spikes and confirm a carrier is present.
+	// The Welch average shrinks the per-bin noise spread by the square
+	// root of the segment count, so even a spike well under twice the
+	// floor can be decisive; a robust z-score captures that.
+	psd := dsp.WelchPSD(cap.IQ, cfg.FFTSize)
+	var spikePower float64
+	d.Offsets, spikePower = selectOffsets(psd, cap, cfg)
+	floor := dsp.Median(psd)
+	sigma := 1.4826 * dsp.MAD(psd)
+	if sigma <= 0 || (spikePower-floor)/sigma < cfg.CarrierMinZ {
+		return d
+	}
+	d.CarrierFound = true
+
+	// 2. Acquisition (Eq. 1): per-sample summed spike amplitude,
+	// tracked at the exact spike frequencies.
+	tc := cfg.TrackerTimeConstant
+	if tc == 0 {
+		// A third of the shortest bit period: fast enough to keep bit
+		// edges sharp, narrow enough to reject interferers a few tens
+		// of kHz away from the tracked spikes.
+		tc = cfg.MinBitPeriod / 3
+	}
+	norm := make([]float64, len(d.Offsets))
+	for i, f := range d.Offsets {
+		norm[i] = f / cap.SampleRate
+	}
+	decay := dsp.DecayForTimeConstant(tc.Seconds(), cap.SampleRate)
+	y := dsp.ResonatorBank(cap.IQ, norm, decay)
+	d.Y = dsp.DecimateMean(y, cfg.DecimateFactor)
+	d.DT = float64(cfg.DecimateFactor) / cap.SampleRate
+
+	// 3. First-pass edge detection sized by the minimum plausible bit
+	// period (Fig. 5).
+	minPeriod := int(cfg.MinBitPeriod.Seconds() / d.DT)
+	if minPeriod < 2 {
+		minPeriod = 2
+	}
+	starts := detectEdges(d.Y, evenAtLeast(minPeriod/2), minPeriod, cfg, nil)
+	if len(starts) < 3 {
+		d.Conv = dsp.Convolve(d.Y, dsp.EdgeKernel(evenAtLeast(minPeriod/2)))
+		return d
+	}
+
+	// 4. Signaling time: median inter-start distance (Fig. 6).
+	for i := 1; i < len(starts); i++ {
+		d.RawDistances = append(d.RawDistances, float64(starts[i]-starts[i-1])*d.DT)
+	}
+	period := estimatePeriod(d.RawDistances, d.DT, minPeriod)
+	d.SignalingTime = float64(period) * d.DT
+
+	// 5. Second pass with the kernel matched to the measured period,
+	// then gap filling at multiples of the signaling time.
+	d.Conv = dsp.Convolve(d.Y, dsp.EdgeKernel(evenAtLeast(period/2)))
+	starts = detectEdges(d.Y, evenAtLeast(period/2), period*6/10, cfg, d.Conv)
+	if len(starts) < 2 {
+		return d
+	}
+	// Refresh the distance statistics from the better pass.
+	d.RawDistances = d.RawDistances[:0]
+	for i := 1; i < len(starts); i++ {
+		d.RawDistances = append(d.RawDistances, float64(starts[i]-starts[i-1])*d.DT)
+	}
+	period = estimatePeriod(d.RawDistances, d.DT, minPeriod)
+	d.SignalingTime = float64(period) * d.DT
+	starts = clipToActive(starts, d.Y, period)
+	if len(starts) == 0 {
+		return d
+	}
+	d.Starts, d.Inserted = fillGaps(starts, period, zeroPeriod(starts, period))
+
+	// 6. Per-bit average power (Eq. 2) and bimodal threshold (Fig. 7).
+	// With return-to-zero coding a '1' is active only during the first
+	// half of its period, so the power window covers the leading half
+	// of each interval (skipping the shared start-of-bit housekeeping
+	// burst); that roughly doubles the 1/0 contrast of the statistic.
+	bounds := append(append([]int(nil), d.Starts...), d.Starts[len(d.Starts)-1]+period)
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		skip := (b - a) / 10
+		a += skip
+		if half := bounds[i] + (bounds[i+1]-bounds[i])/2; half < b {
+			b = half
+		}
+		if b > len(d.Y) {
+			b = len(d.Y)
+		}
+		if a >= b {
+			d.Powers = append(d.Powers, 0)
+			continue
+		}
+		d.Powers = append(d.Powers, dsp.MeanPower(d.Y[a:b]))
+	}
+	d.Threshold = dsp.BimodalThreshold(d.Powers, cfg.HistBins)
+	d.Bits = make([]byte, len(d.Powers))
+	for i, p := range d.Powers {
+		if p > d.Threshold {
+			d.Bits[i] = 1
+		}
+	}
+	return d
+}
+
+// selectOffsets chooses the Eq. (1) frequency set S as exact baseband
+// offsets, plus the strongest selected spike's PSD power for carrier
+// detection. With an f0 hint the offsets are the harmonics that fall in
+// band; otherwise the strongest well-separated PSD peaks are used.
+// Narrowband interferers near a spike are attenuated by the acquisition
+// tracker's own selectivity, so no candidate is excluded here; slower
+// signaling (a narrower tracker) is the §IV-C3 remedy when the band is
+// polluted.
+func selectOffsets(psd []float64, cap *sdr.Capture, cfg RXConfig) ([]float64, float64) {
+	m := cfg.FFTSize
+	usable := 0.46 * cap.SampleRate
+	var offsets []float64
+	if cfg.ExpectedF0 > 0 {
+		for k := 1; len(offsets) < cfg.NumHarmonics && float64(k)*cfg.ExpectedF0 < cap.SampleRate*3; k++ {
+			off := float64(k)*cfg.ExpectedF0 - cap.CenterFreqHz
+			if math.Abs(off) <= usable {
+				offsets = append(offsets, off)
+			}
+		}
+	}
+	if len(offsets) == 0 {
+		// Blind selection: strongest well-separated PSD peaks,
+		// excluding DC.
+		work := append([]float64(nil), psd...)
+		work[0] = 0
+		peaks := dsp.FindPeaks(work, m/32, 0)
+		for i := 0; i < len(peaks); i++ {
+			for j := i + 1; j < len(peaks); j++ {
+				if work[peaks[j]] > work[peaks[i]] {
+					peaks[i], peaks[j] = peaks[j], peaks[i]
+				}
+			}
+		}
+		if len(peaks) > cfg.NumHarmonics {
+			peaks = peaks[:cfg.NumHarmonics]
+		}
+		for _, p := range peaks {
+			offsets = append(offsets, dsp.BinFrequency(p, m, cap.SampleRate))
+		}
+		if len(offsets) == 0 {
+			offsets = []float64{0}
+		}
+	}
+	var spike float64
+	for _, f := range offsets {
+		if p := psd[dsp.FrequencyBin(f, m, cap.SampleRate)]; p > spike {
+			spike = p
+		}
+	}
+	return offsets, spike
+}
+
+// estimatePeriod turns the inter-start distances into a signaling-period
+// estimate (in Y samples). The distances are a mixture: mostly one
+// period, plus multiples where weak bit starts were missed and
+// sub-period values from spurious edges. Several quantile anchors are
+// refined into candidate periods, and the candidate that explains the
+// distance set with the smallest fractional residual wins.
+func estimatePeriod(distances []float64, dt float64, minPeriod int) int {
+	if len(distances) == 0 {
+		return minPeriod
+	}
+	refine := func(p0 float64) float64 {
+		ratios := make([]float64, 0, len(distances))
+		for _, d := range distances {
+			if k := math.Round(d / dt / p0); k >= 1 {
+				ratios = append(ratios, d/dt/k)
+			}
+		}
+		if len(ratios) == 0 {
+			return p0
+		}
+		return dsp.Median(ratios)
+	}
+	score := func(p float64) float64 {
+		var sum float64
+		for _, d := range distances {
+			k := math.Round(d / dt / p)
+			if k < 1 {
+				k = 1
+			}
+			sum += math.Abs(d/dt-k*p) / p
+		}
+		return sum / float64(len(distances))
+	}
+	best, bestScore := float64(minPeriod), math.Inf(1)
+	for _, q := range []float64{0.10, 0.15, 0.25, 0.50} {
+		p0 := dsp.Quantile(distances, q) / dt
+		if p0 < float64(minPeriod) {
+			p0 = float64(minPeriod)
+		}
+		p := refine(p0)
+		if p < float64(minPeriod) {
+			continue
+		}
+		if sc := score(p); sc < bestScore {
+			best, bestScore = p, sc
+		}
+	}
+	return int(best)
+}
+
+// detectEdges convolves the acquisition trace with a rising-edge kernel
+// and returns the locations of prominent positive peaks. Thresholding is
+// done per batch (§IV-B2) with a global gate so silent stretches do not
+// produce phantom edges. A precomputed convolution may be passed in.
+func detectEdges(y []float64, kernelLen, minDist int, cfg RXConfig, conv []float64) []int {
+	if conv == nil {
+		conv = dsp.Convolve(y, dsp.EdgeKernel(kernelLen))
+	}
+	peaks := dsp.FindPeaks(conv, minDist, 0)
+	if len(peaks) == 0 {
+		return nil
+	}
+	// Global gate: a fraction of the near-maximum response.
+	gate := 0.2 * dsp.Quantile(conv, 0.99)
+	batch := cfg.BatchBits * minDist
+	if batch < minDist {
+		batch = minDist
+	}
+	var out []int
+	for _, p := range peaks {
+		batchStart := (p / batch) * batch
+		batchEnd := batchStart + batch
+		if batchEnd > len(conv) {
+			batchEnd = len(conv)
+		}
+		localMax, _ := dsp.Max(conv[batchStart:batchEnd])
+		thr := 0.25 * localMax
+		if thr < gate {
+			thr = gate
+		}
+		if conv[p] >= thr {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// maxFillGap bounds gap filling: gaps longer than this many signaling
+// periods mark the end of the transmission even if stray edges follow.
+const maxFillGap = 12
+
+// zeroPeriod estimates the per-bit duration INSIDE multi-bit gaps.
+// Gaps longer than one period consist of consecutive '0' bits (their
+// start edges are the weak ones that go undetected), and a '0' bit's
+// duration differs systematically from the overall median period; using
+// the wrong period to subdivide a long run of zeros drops or invents a
+// bit every few runs. The estimate is the median per-period length of
+// the multi-period gaps themselves, falling back to the global period.
+func zeroPeriod(starts []int, period int) int {
+	var perBit []float64
+	for i := 1; i < len(starts); i++ {
+		gap := starts[i] - starts[i-1]
+		k := int(math.Round(float64(gap) / float64(period)))
+		if k >= 2 && k <= maxFillGap {
+			perBit = append(perBit, float64(gap)/float64(k))
+		}
+	}
+	if len(perBit) < 3 {
+		return period
+	}
+	return int(dsp.Median(perBit))
+}
+
+// clipToActive trims detected starts to the stretch of the acquisition
+// trace that actually contains transmission activity. '1' bits light the
+// trace up at least every few periods, so the active region is bounded
+// by the first and last samples whose level clearly exceeds the idle
+// floor; edges outside it come from unrelated system activity.
+func clipToActive(starts []int, y []float64, period int) []int {
+	if len(starts) == 0 || len(y) == 0 {
+		return nil
+	}
+	// Sustained activity: a transmission keeps the 2-period windowed
+	// mean high (a '1' bit is active half its period), while isolated
+	// interrupt bursts in the surrounding silence do not.
+	smooth := dsp.MovingAverage(y, 2*period)
+	lo := dsp.Quantile(smooth, 0.05)
+	hi := dsp.Quantile(smooth, 0.95)
+	thr := lo + 0.3*(hi-lo)
+	first, last := -1, -1
+	for i, v := range smooth {
+		if v > thr {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return nil
+	}
+	first -= 2 * period
+	last += period
+	var out []int
+	for _, s := range starts {
+		if s >= first && s <= last {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// fillGaps inserts synthetic starts wherever consecutive detected starts
+// are separated by a near-multiple of the signaling period — the
+// paper's recovery for bit starts whose edges were too weak or were
+// suppressed by other system activity. Single-period decisions use the
+// global period; multi-period subdivision uses the zero-bit period (see
+// zeroPeriod). A gap beyond maxFillGap periods truncates the stream.
+func fillGaps(starts []int, period, zPeriod int) (filled []int, inserted int) {
+	if len(starts) == 0 {
+		return nil, 0
+	}
+	if zPeriod <= 0 {
+		zPeriod = period
+	}
+	filled = append(filled, starts[0])
+	for i := 1; i < len(starts); i++ {
+		gap := starts[i] - starts[i-1]
+		k := int(math.Round(float64(gap) / float64(period)))
+		if k >= 2 {
+			k = int(math.Round(float64(gap) / float64(zPeriod)))
+			if k < 2 {
+				k = 2
+			}
+		}
+		if k > maxFillGap {
+			return filled, inserted
+		}
+		for j := 1; j < k; j++ {
+			filled = append(filled, starts[i-1]+j*gap/k)
+			inserted++
+		}
+		filled = append(filled, starts[i])
+	}
+	return filled, inserted
+}
+
+func evenAtLeast(n int) int {
+	if n < 2 {
+		return 2
+	}
+	if n%2 != 0 {
+		n++
+	}
+	return n
+}
+
+// FindPreamble locates the best match of the expected preamble in the
+// decoded bit stream by minimum Hamming distance, tolerating up to
+// maxErrors bit flips. It returns the index just past the preamble and
+// whether a match was found.
+func FindPreamble(bits, preamble []byte, maxErrors int) (payloadStart int, ok bool) {
+	if len(preamble) == 0 || len(bits) < len(preamble) {
+		return 0, false
+	}
+	bestIdx, bestDist := -1, maxErrors+1
+	for i := 0; i+len(preamble) <= len(bits); i++ {
+		dist := 0
+		for j := range preamble {
+			if bits[i+j] != preamble[j] {
+				dist++
+				if dist > maxErrors {
+					break
+				}
+			}
+		}
+		if dist < bestDist {
+			bestDist, bestIdx = dist, i
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	return bestIdx + len(preamble), true
+}
+
+// RecoverPayload synchronizes on the preamble and decodes the payload
+// with the frame's error-control code. ok is false when the preamble
+// cannot be located. For interleaved frames, prefer RecoverPayloadN.
+func (d *Demod) RecoverPayload(cfg TXConfig) (payload []byte, corrections int, ok bool) {
+	start := 0
+	if len(cfg.Preamble) > 0 {
+		var found bool
+		start, found = FindPreamble(d.Bits, cfg.Preamble, len(cfg.Preamble)/4)
+		if !found {
+			return nil, 0, false
+		}
+	}
+	payload, corrections = DecodePayload(d.Bits[start:], cfg)
+	return payload, corrections, true
+}
+
+// RecoverPayloadN is RecoverPayload for a payload of known size (bits):
+// required when interleaving is enabled, and more precise in general
+// because trailing postamble/stray bits are excluded before decoding.
+func (d *Demod) RecoverPayloadN(cfg TXConfig, payloadBits int) (payload []byte, corrections int, ok bool) {
+	start := 0
+	if len(cfg.Preamble) > 0 {
+		var found bool
+		start, found = FindPreamble(d.Bits, cfg.Preamble, len(cfg.Preamble)/4)
+		if !found {
+			return nil, 0, false
+		}
+	}
+	payload, corrections = DecodePayloadN(d.Bits[start:], cfg, payloadBits)
+	return payload, corrections, true
+}

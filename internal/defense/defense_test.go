@@ -1,0 +1,120 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+
+	"pmuleak/internal/core"
+)
+
+func TestStandardSet(t *testing.T) {
+	cms := Standard()
+	if len(cms) != 3 {
+		t.Fatalf("got %d countermeasures", len(cms))
+	}
+	for _, cm := range cms {
+		if cm.Name == "" || cm.Description == "" || cm.Cost == "" || cm.Apply == nil {
+			t.Errorf("countermeasure incomplete: %+v", cm)
+		}
+	}
+}
+
+func TestApplyMutations(t *testing.T) {
+	tb := core.NewTestbed()
+	DisablePowerStates().Apply(tb)
+	if tb.Profile.Power.PStatesEnabled || tb.Profile.Power.CStatesEnabled {
+		t.Fatal("power states still enabled")
+	}
+
+	tb = core.NewTestbed()
+	SpreadSpectrumVRM(50e3).Apply(tb)
+	if tb.Profile.VRMDitherHz != 50e3 {
+		t.Fatalf("dither = %v", tb.Profile.VRMDitherHz)
+	}
+
+	tb = core.NewTestbed()
+	base := tb.Channel.WallLossDB
+	Shielding(30).Apply(tb)
+	if tb.Channel.WallLossDB != base+30 {
+		t.Fatalf("wall loss = %v", tb.Channel.WallLossDB)
+	}
+}
+
+func TestEvaluateBaselineVulnerable(t *testing.T) {
+	out := Evaluate(nil, 5, 96, 10)
+	if len(out) != 1 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	base := out[0]
+	if !base.CovertAlive || base.CovertRate < 500 {
+		t.Fatalf("undefended target should be fully exploitable: %+v", base)
+	}
+	if base.KeylogTPR < 0.9 {
+		t.Fatalf("undefended keylog TPR = %v", base.KeylogTPR)
+	}
+}
+
+func TestDisablingPowerStatesKillsCovertChannel(t *testing.T) {
+	out := Evaluate([]Countermeasure{DisablePowerStates()}, 6, 96, 10)
+	base, hardened := out[0], out[1]
+	if hardened.CovertAlive {
+		t.Fatalf("covert channel survived disabled power states: %+v", hardened)
+	}
+	// Keystroke bursts remain partially visible as residual load
+	// modulation on the constant carrier (a finding of this
+	// reproduction — see EXPERIMENTS.md), but detection must degrade
+	// substantially versus the undefended target.
+	if hardened.KeylogTPR > 0.8*base.KeylogTPR {
+		t.Fatalf("keylogging barely degraded: TPR %v vs baseline %v",
+			hardened.KeylogTPR, base.KeylogTPR)
+	}
+}
+
+func TestSpreadSpectrumDegradesChannel(t *testing.T) {
+	out := Evaluate([]Countermeasure{SpreadSpectrumVRM(60e3)}, 7, 96, 10)
+	base, hardened := out[0], out[1]
+	// The smeared carrier must at minimum cost the covert channel an
+	// order of magnitude in error rate, if it survives at all.
+	if hardened.CovertAlive && hardened.CovertErrorRate < 10*base.CovertErrorRate+1e-3 {
+		t.Fatalf("dither ineffective: base %v hardened %v",
+			base.CovertErrorRate, hardened.CovertErrorRate)
+	}
+}
+
+func TestShieldingDegradesChannel(t *testing.T) {
+	// Shielding only reduces SNR (the paper's caveat); enough of it
+	// kills the 2 m attack outright.
+	strong := Evaluate([]Countermeasure{Shielding(40)}, 8, 96, 10)[1]
+	if strong.CovertAlive {
+		t.Fatalf("covert channel survived 80 dB shielding: %+v", strong)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	s := Outcome{Name: "x", CovertAlive: true, CovertRate: 1200,
+		CovertErrorRate: 0.01, KeylogTPR: 0.5}.String()
+	if !strings.Contains(s, "1200 bps") || !strings.Contains(s, "keylog") {
+		t.Fatalf("String = %q", s)
+	}
+	s = Outcome{Name: "x"}.String()
+	if !strings.Contains(s, "DEAD") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEnergyOverhead(t *testing.T) {
+	// Disabling power management on a mostly-idle machine costs many
+	// times the energy; shielding is free.
+	disable := EnergyOverhead(DisablePowerStates(), 9)
+	if disable < 3 {
+		t.Fatalf("disable P/C energy overhead = %vx, want large", disable)
+	}
+	shield := EnergyOverhead(Shielding(30), 9)
+	if shield < 0.95 || shield > 1.05 {
+		t.Fatalf("shielding energy overhead = %vx, want ~1", shield)
+	}
+	dither := EnergyOverhead(SpreadSpectrumVRM(60e3), 9)
+	if dither < 0.95 || dither > 1.1 {
+		t.Fatalf("dither energy overhead = %vx, want ~1", dither)
+	}
+}

@@ -1,0 +1,119 @@
+package dsp
+
+// Convolve computes the "same"-size linear convolution of x with kernel
+// k: the output has len(x) entries and output[i] is the kernel centered
+// at x[i]. Samples beyond the signal edges are treated as zero.
+func Convolve(x, k []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(k) == 0 {
+		return out
+	}
+	half := len(k) / 2
+	for i := range x {
+		var sum float64
+		for j, kv := range k {
+			idx := i + j - half
+			if idx >= 0 && idx < len(x) {
+				sum += x[idx] * kv
+			}
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// EdgeKernel returns the length-l derivative-mimicking kernel the paper
+// uses for bit-start detection (§IV-B2): the first half is -1 and the
+// second half +1, so convolving it with the acquisition trace peaks at
+// sharp rising edges. l must be even and positive.
+func EdgeKernel(l int) []float64 {
+	if l <= 0 || l%2 != 0 {
+		panic("dsp: EdgeKernel length must be positive and even")
+	}
+	k := make([]float64, l)
+	for i := range k {
+		if i < l/2 {
+			k[i] = -1
+		} else {
+			k[i] = 1
+		}
+	}
+	return k
+}
+
+// BoxcarKernel returns a length-l moving-average kernel (each tap 1/l).
+func BoxcarKernel(l int) []float64 {
+	if l <= 0 {
+		panic("dsp: BoxcarKernel length must be positive")
+	}
+	k := make([]float64, l)
+	for i := range k {
+		k[i] = 1 / float64(l)
+	}
+	return k
+}
+
+// MovingAverage smooths x with a window of width w (centered). It is
+// equivalent to Convolve(x, BoxcarKernel(w)) but runs in O(n).
+func MovingAverage(x []float64, w int) []float64 {
+	if w <= 0 {
+		panic("dsp: MovingAverage width must be positive")
+	}
+	out := make([]float64, len(x))
+	half := w / 2
+	var sum float64
+	lo, hi := 0, 0 // current window is x[lo:hi]
+	for i := range x {
+		wantLo, wantHi := i-half, i-half+w
+		if wantLo < 0 {
+			wantLo = 0
+		}
+		if wantHi > len(x) {
+			wantHi = len(x)
+		}
+		for hi < wantHi {
+			sum += x[hi]
+			hi++
+		}
+		for lo < wantLo {
+			sum -= x[lo]
+			lo++
+		}
+		out[i] = sum / float64(w)
+	}
+	return out
+}
+
+// Decimate keeps every factor-th sample of x, starting with x[0].
+func Decimate(x []float64, factor int) []float64 {
+	if factor <= 0 {
+		panic("dsp: Decimate factor must be positive")
+	}
+	out := make([]float64, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// DecimateMean reduces x by the given factor, replacing each block with
+// its mean. Unlike Decimate it acts as a crude anti-aliasing filter and
+// is what the receiver uses before edge detection.
+func DecimateMean(x []float64, factor int) []float64 {
+	if factor <= 0 {
+		panic("dsp: DecimateMean factor must be positive")
+	}
+	out := make([]float64, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		end := i + factor
+		if end > len(x) {
+			end = len(x)
+		}
+		var sum float64
+		for _, v := range x[i:end] {
+			sum += v
+		}
+		out = append(out, sum/float64(end-i))
+	}
+	return out
+}

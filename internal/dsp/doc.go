@@ -1,0 +1,10 @@
+// Package dsp implements the signal-processing primitives the attack
+// pipeline needs: FFT and short-time Fourier transforms, window
+// functions, convolution, sliding-bin DFTs for the Eq. (1) acquisition,
+// peak detection, histograms, robust statistics, and Rayleigh fitting.
+//
+// Everything is implemented from scratch on the standard library; the
+// receiver in the paper was MATLAB, and this package is its Go
+// equivalent. Functions operate on plain slices and never retain their
+// arguments, so callers are free to reuse buffers.
+package dsp

@@ -1,0 +1,134 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n (n must be > 0).
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPowerOfTwo of non-positive n")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// FFT computes the discrete Fourier transform of x in place using an
+// iterative radix-2 Cooley-Tukey algorithm. len(x) must be a power of
+// two. The transform is unnormalized: IFFT(FFT(x)) == x.
+func FFT(x []complex128) {
+	fftDir(x, false)
+}
+
+// IFFT computes the inverse DFT of x in place, including the 1/N
+// normalization.
+func IFFT(x []complex128) {
+	fftDir(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftDir(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+}
+
+// FFTReal transforms a real signal, returning the full complex spectrum
+// of length NextPowerOfTwo(len(x)) with zero padding.
+func FFTReal(x []float64) []complex128 {
+	n := NextPowerOfTwo(len(x))
+	out := make([]complex128, n)
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	FFT(out)
+	return out
+}
+
+// Magnitudes returns |x[i]| for each element.
+func Magnitudes(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// PowerSpectrum returns |x[i]|^2 for each element.
+func PowerSpectrum(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		re, im := real(v), imag(v)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// BinFrequency returns the baseband frequency (Hz) of FFT bin k for an
+// n-point transform of complex samples taken at sampleRate. Bins above
+// n/2 map to negative frequencies, matching the convention of a complex
+// (IQ) capture.
+func BinFrequency(k, n int, sampleRate float64) float64 {
+	if k >= n/2 {
+		k -= n
+	}
+	return float64(k) * sampleRate / float64(n)
+}
+
+// FrequencyBin returns the FFT bin index (0..n-1) closest to frequency f
+// (which may be negative for an IQ capture) for an n-point transform at
+// sampleRate.
+func FrequencyBin(f float64, n int, sampleRate float64) int {
+	k := int(math.Round(f * float64(n) / sampleRate))
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	return k
+}

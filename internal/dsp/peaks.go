@@ -1,0 +1,115 @@
+package dsp
+
+import "sort"
+
+// FindPeaks returns the indices of local maxima of x that are at least
+// minHeight tall, enforcing a minimum distance of minDist samples
+// between reported peaks (taller peaks win). Indices are returned in
+// ascending order.
+func FindPeaks(x []float64, minDist int, minHeight float64) []int {
+	if minDist < 1 {
+		minDist = 1
+	}
+	var candidates []int
+	for i := range x {
+		if x[i] < minHeight {
+			continue
+		}
+		left := i == 0 || x[i] > x[i-1]
+		// Treat plateau edges as peaks only at their left edge by
+		// requiring a strict rise on the left and a non-rise on the
+		// right.
+		right := i == len(x)-1 || x[i] >= x[i+1]
+		if left && right {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Greedy suppression: keep taller peaks first.
+	order := append([]int(nil), candidates...)
+	sort.Slice(order, func(a, b int) bool {
+		if x[order[a]] != x[order[b]] {
+			return x[order[a]] > x[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	kept := make([]int, 0, len(order))
+	suppressed := make(map[int]bool)
+	for _, p := range order {
+		if suppressed[p] {
+			continue
+		}
+		kept = append(kept, p)
+		for _, q := range candidates {
+			if q != p && abs(q-p) < minDist {
+				suppressed[q] = true
+			}
+		}
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ThresholdCrossings returns the [start, end) index intervals where x
+// stays strictly above thr. An interval still open at the end of the
+// signal is closed at len(x). The keystroke detector uses this to turn
+// the band-energy trace into candidate key events.
+func ThresholdCrossings(x []float64, thr float64) [][2]int {
+	var out [][2]int
+	start := -1
+	for i, v := range x {
+		if v > thr {
+			if start == -1 {
+				start = i
+			}
+		} else if start != -1 {
+			out = append(out, [2]int{start, i})
+			start = -1
+		}
+	}
+	if start != -1 {
+		out = append(out, [2]int{start, len(x)})
+	}
+	return out
+}
+
+// MergeIntervals merges intervals whose gap is at most maxGap samples.
+// Intervals must be sorted by start, as ThresholdCrossings produces.
+func MergeIntervals(iv [][2]int, maxGap int) [][2]int {
+	if len(iv) == 0 {
+		return nil
+	}
+	out := [][2]int{iv[0]}
+	for _, cur := range iv[1:] {
+		last := &out[len(out)-1]
+		if cur[0]-last[1] <= maxGap {
+			if cur[1] > last[1] {
+				last[1] = cur[1]
+			}
+		} else {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// FilterIntervals drops intervals shorter than minLen samples — the
+// paper's 30 ms minimum-keystroke-duration filter.
+func FilterIntervals(iv [][2]int, minLen int) [][2]int {
+	var out [][2]int
+	for _, v := range iv {
+		if v[1]-v[0] >= minLen {
+			out = append(out, v)
+		}
+	}
+	return out
+}

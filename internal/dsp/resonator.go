@@ -1,0 +1,61 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// ResonatorBank tracks the amplitude of a set of narrowband components
+// at exact (not bin-quantized) baseband frequencies. Each component is
+// followed by a single-pole complex resonator — an exponentially
+// weighted sliding DFT:
+//
+//	z[n] = decay * e^{i·2π·f/fs} * z[n-1] + x[n]
+//
+// whose magnitude, scaled by (1-decay), estimates the component's
+// amplitude with a time constant of 1/(1-decay) samples and an effective
+// bandwidth of roughly (1-decay)·fs/π Hz.
+//
+// The receiver uses it as the practical form of the paper's Eq. (1):
+// summing the tracked magnitudes of the VRM spike set S gives the
+// per-sample acquisition trace Y[n] without FFT-grid scalloping loss.
+//
+// offsets are the component frequencies normalized by the sample rate
+// (f/fs, may be negative); decay must be in (0, 1).
+func ResonatorBank(x []complex128, offsets []float64, decay float64) []float64 {
+	if decay <= 0 || decay >= 1 {
+		panic("dsp: ResonatorBank decay must be in (0,1)")
+	}
+	rot := make([]complex128, len(offsets))
+	for i, f := range offsets {
+		rot[i] = cmplx.Exp(complex(0, 2*math.Pi*f)) * complex(decay, 0)
+	}
+	z := make([]complex128, len(offsets))
+	out := make([]float64, len(x))
+	gain := 1 - decay
+	for n, v := range x {
+		var sum float64
+		for i := range z {
+			z[i] = z[i]*rot[i] + v
+			sum += cmplx.Abs(z[i])
+		}
+		out[n] = sum * gain
+	}
+	return out
+}
+
+// ResonatorBandwidth returns the approximate -3 dB bandwidth (Hz) of a
+// resonator with the given decay at the given sample rate.
+func ResonatorBandwidth(decay, sampleRate float64) float64 {
+	return (1 - decay) * sampleRate / math.Pi
+}
+
+// DecayForTimeConstant returns the decay factor whose step-response time
+// constant is tc seconds at the given sample rate.
+func DecayForTimeConstant(tc, sampleRate float64) float64 {
+	samples := tc * sampleRate
+	if samples < 1 {
+		samples = 1
+	}
+	return 1 - 1/samples
+}

@@ -1,0 +1,96 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// SlidingDFT evaluates the paper's Eq. (1) acquisition efficiently: for a
+// set S of frequency bins, it computes
+//
+//	Y[n] = sum over k in S of |F_n[k]|
+//
+// where F_n[k] is the M-point DFT of the window of samples ending at n.
+// A direct STFT with hop 1 ("maximum overlapping") costs O(N·M log M);
+// the sliding DFT updates each tracked bin recursively in O(1) per
+// sample, so the whole acquisition is O(N·|S|).
+//
+// The output has len(x) - m + 1 entries: Y[0] corresponds to the window
+// x[0:m].
+func SlidingDFT(x []complex128, m int, bins []int) []float64 {
+	if m <= 0 {
+		panic("dsp: SlidingDFT window must be positive")
+	}
+	if len(x) < m {
+		return nil
+	}
+	// Twiddle per bin: e^{+2πi k / M} (advance of the window by one
+	// sample rotates each bin by this factor).
+	tw := make([]complex128, len(bins))
+	acc := make([]complex128, len(bins))
+	for i, k := range bins {
+		tw[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k)/float64(m)))
+	}
+	// exact computes bin k of the M-point DFT of the window starting
+	// at offset start.
+	exact := func(start, k int) complex128 {
+		var sum complex128
+		w := complex(1, 0)
+		step := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(m)))
+		for j := 0; j < m; j++ {
+			sum += x[start+j] * w
+			w *= step
+		}
+		return sum
+	}
+	for i, k := range bins {
+		acc[i] = exact(0, k)
+	}
+	out := make([]float64, len(x)-m+1)
+	sumAbs := func() float64 {
+		var s float64
+		for _, a := range acc {
+			s += cmplx.Abs(a)
+		}
+		return s
+	}
+	out[0] = sumAbs()
+	// Recursive update. Every renormEvery samples, recompute the bins
+	// exactly to stop floating-point drift from accumulating over
+	// millions of updates.
+	const renormEvery = 1 << 15
+	for n := 1; n < len(out); n++ {
+		oldest := x[n-1]
+		newest := x[n+m-1]
+		for i := range bins {
+			acc[i] = (acc[i] - oldest + newest) * tw[i]
+		}
+		if n%renormEvery == 0 {
+			for i, k := range bins {
+				acc[i] = exact(n, k)
+			}
+		}
+		out[n] = sumAbs()
+	}
+	return out
+}
+
+// Goertzel computes the magnitude of a single DFT bin k of x (length-n
+// DFT over the whole slice) without a full FFT. It is used for spot
+// checks of individual spectral spikes.
+func Goertzel(x []complex128, k int) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * float64(k) / float64(n)
+	coeff := complex(2*math.Cos(w), 0)
+	var s0, s1, s2 complex128
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	res := s1*cmplx.Exp(complex(0, w)) - s2
+	return cmplx.Abs(res)
+}

@@ -1,0 +1,151 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// Variance returns the population variance of x.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var sum float64
+	for _, v := range x {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(x))
+}
+
+// Stddev returns the population standard deviation of x.
+func Stddev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// MeanPower returns the average of v^2 over x — the per-bit decision
+// statistic of the paper's Eq. (2).
+func MeanPower(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return sum / float64(len(x))
+}
+
+// Median returns the median of x without modifying it.
+func Median(x []float64) float64 {
+	return Quantile(x, 0.5)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of x using linear
+// interpolation between order statistics. x is not modified.
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MAD returns the median absolute deviation of x — a robust spread
+// estimate. Multiply by 1.4826 to estimate a Gaussian sigma.
+func MAD(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Median(x)
+	dev := make([]float64, len(x))
+	for i, v := range x {
+		dev[i] = math.Abs(v - m)
+	}
+	return Median(dev)
+}
+
+// Max returns the maximum value of x and its index (-1 for empty input).
+func Max(x []float64) (float64, int) {
+	if len(x) == 0 {
+		return 0, -1
+	}
+	best, idx := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, idx = v, i+1
+		}
+	}
+	return best, idx
+}
+
+// Min returns the minimum value of x and its index (-1 for empty input).
+func Min(x []float64) (float64, int) {
+	if len(x) == 0 {
+		return 0, -1
+	}
+	best, idx := x[0], 0
+	for i, v := range x[1:] {
+		if v < best {
+			best, idx = v, i+1
+		}
+	}
+	return best, idx
+}
+
+// Normalize scales x in place so its maximum absolute value is 1.
+// A zero signal is left unchanged.
+func Normalize(x []float64) {
+	var peak float64
+	for _, v := range x {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= peak
+	}
+}
+
+// DB converts a linear power ratio to decibels, clamping at a floor to
+// avoid -Inf for zero power.
+func DB(ratio float64) float64 {
+	const floor = 1e-30
+	if ratio < floor {
+		ratio = floor
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}

@@ -1,0 +1,30 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"pmuleak/internal/ecc"
+)
+
+// ExampleHamming74 shows single-error correction on a codeword.
+func ExampleHamming74() {
+	var h ecc.Hamming74
+	code := h.EncodeBlock([4]byte{1, 0, 1, 1})
+	code[2] ^= 1 // channel flips one bit
+	data, corrected := h.DecodeBlock(code)
+	fmt.Println(data, corrected)
+	// Output:
+	// [1 0 1 1] true
+}
+
+// ExampleCRC8 frames a message so damage is detectable.
+func ExampleCRC8() {
+	msg := []byte("launch code")
+	crc := ecc.CRC8(msg)
+	fmt.Println(ecc.CRC8(msg) == crc)
+	msg[0] ^= 1
+	fmt.Println(ecc.CRC8(msg) == crc)
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,257 @@
+// Package em synthesizes the electromagnetic emanations of the voltage
+// regulator as a complex-baseband (IQ) sample stream, the way a
+// software-defined radio tuned near the VRM switching frequency would
+// see them.
+//
+// The physics being modelled (§II of the paper): each replenishment
+// current burst radiates, and because bursts repeat at the switching
+// frequency f0, the emission concentrates in spectral spikes at f0 and
+// its integer harmonics, with square-wave-like 1/k harmonic weights. The
+// spike amplitude follows the burst charge, so the processor's activity
+// level amplitude-modulates every spike — the on-off keying the attack
+// receives.
+package em
+
+import (
+	"fmt"
+	"math"
+
+	"pmuleak/internal/dsp"
+	"pmuleak/internal/sim"
+	"pmuleak/internal/vrm"
+	"pmuleak/internal/xrand"
+)
+
+// Config describes the synthesis: emitter physics plus the (virtual)
+// receiver tuning that defines the baseband.
+type Config struct {
+	// SwitchingFreqHz is the VRM's fundamental emission frequency.
+	SwitchingFreqHz float64
+
+	// CenterFreqHz is the receiver's tuning frequency: rendered
+	// components appear at offsets (k·f0 - fc) in the baseband.
+	CenterFreqHz float64
+
+	// SampleRate is the IQ sample rate (Hz).
+	SampleRate float64
+
+	// Harmonics is the number of harmonics of f0 to render (>= 1).
+	// Harmonics falling outside the usable baseband are skipped.
+	Harmonics int
+
+	// EmitterGain converts charge-flow (A) at the VRM into received
+	// field amplitude at the reference distance. Per-laptop constant.
+	EmitterGain float64
+
+	// PhaseNoiseSigma is the per-sample standard deviation (radians)
+	// of the common random-walk phase noise of the switching clock.
+	PhaseNoiseSigma float64
+
+	// FreqDitherHz, when positive, spreads the switching clock: the
+	// instantaneous fundamental wanders in a reflected random walk
+	// within +/- FreqDitherHz of nominal. This models the
+	// spread-spectrum VRM dithering the paper's §VI proposes as a
+	// countermeasure (and that secure-VRM designs like random fast
+	// voltage dithering implement).
+	FreqDitherHz float64
+	// FreqDitherRateHz controls how fast the wander moves (the corner
+	// frequency of the random walk); zero with FreqDitherHz > 0
+	// selects a 1 kHz default.
+	FreqDitherRateHz float64
+
+	// CarrierDriftHzPerS is a slow linear drift of the switching
+	// frequency (thermal drift of the converter's RC oscillator). It
+	// is what forces a receiver to re-acquire the spike over
+	// multi-second captures.
+	CarrierDriftHzPerS float64
+
+	// EnvelopeSmoothPeriods controls how many switching periods of
+	// smoothing the emission envelope gets; it models the finite
+	// bandwidth of the resonant emission path.
+	EnvelopeSmoothPeriods float64
+}
+
+// DefaultConfig returns a synthesis setup matching the paper's: 970 kHz
+// VRM, tuned between the fundamental and first harmonic so both fit in a
+// 2.4 MS/s capture.
+func DefaultConfig() Config {
+	return Config{
+		SwitchingFreqHz:       970e3,
+		CenterFreqHz:          1.5 * 970e3,
+		SampleRate:            2.4e6,
+		Harmonics:             2,
+		EmitterGain:           1.0,
+		PhaseNoiseSigma:       2e-4,
+		EnvelopeSmoothPeriods: 2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SwitchingFreqHz <= 0 {
+		return fmt.Errorf("em: SwitchingFreqHz must be positive")
+	}
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("em: SampleRate must be positive")
+	}
+	if c.Harmonics < 1 {
+		return fmt.Errorf("em: need at least one harmonic")
+	}
+	if c.EmitterGain < 0 {
+		return fmt.Errorf("em: negative EmitterGain")
+	}
+	if c.PhaseNoiseSigma < 0 {
+		return fmt.Errorf("em: negative PhaseNoiseSigma")
+	}
+	if c.FreqDitherHz < 0 || c.FreqDitherRateHz < 0 {
+		return fmt.Errorf("em: negative frequency dither")
+	}
+	if c.EnvelopeSmoothPeriods <= 0 {
+		return fmt.Errorf("em: EnvelopeSmoothPeriods must be positive")
+	}
+	return nil
+}
+
+// HarmonicOffsets returns the baseband offsets (Hz) of the harmonics
+// that fit inside the usable band (92% of Nyquist, keeping clear of the
+// band edges), in harmonic order. Harmonics outside are omitted.
+func (c Config) HarmonicOffsets() []float64 {
+	usable := 0.46 * c.SampleRate
+	var out []float64
+	for k := 1; k <= c.Harmonics; k++ {
+		off := float64(k)*c.SwitchingFreqHz - c.CenterFreqHz
+		if math.Abs(off) <= usable {
+			out = append(out, off)
+		}
+	}
+	return out
+}
+
+// SampleCount returns the number of samples spanning the horizon.
+func (c Config) SampleCount(horizon sim.Time) int {
+	return int(horizon.Seconds() * c.SampleRate)
+}
+
+// Render converts a VRM pulse train into an IQ baseband stream over
+// [0, horizon). The result has Config.SampleCount(horizon) samples.
+func Render(pulses []vrm.Pulse, horizon sim.Time, cfg Config, rng *xrand.Source) []complex128 {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.SampleCount(horizon)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+
+	// Emission envelope: charge-flow per sample, smoothed over a few
+	// switching periods.
+	dt := sim.FromSeconds(1 / cfg.SampleRate)
+	if dt < 1 {
+		dt = 1
+	}
+	env := vrm.EnergyRate(pulses, horizon, dt)
+	if len(env) > n {
+		env = env[:n]
+	}
+	for len(env) < n {
+		env = append(env, 0)
+	}
+	// The emission path acts as a resonant filter: the envelope cannot
+	// change faster than a few switching periods. At low sample rates a
+	// floor of a few samples also removes the artificial per-sample
+	// pulse-count aliasing that would otherwise spread the carrier.
+	smoothSamples := int(cfg.EnvelopeSmoothPeriods * cfg.SampleRate / cfg.SwitchingFreqHz)
+	if smoothSamples < 4 {
+		smoothSamples = 4
+	}
+	env = dsp.MovingAverage(env, smoothSamples)
+
+	// Harmonic oscillators sharing a common phase-noise random walk.
+	type osc struct {
+		phase float64 // current phase (radians)
+		step  float64 // deterministic phase increment per sample
+		kfrac float64 // harmonic number (phase noise scales with it)
+		amp   float64 // relative amplitude (1/k falloff)
+	}
+	usable := 0.46 * cfg.SampleRate
+	var oscs []osc
+	for k := 1; k <= cfg.Harmonics; k++ {
+		off := float64(k)*cfg.SwitchingFreqHz - cfg.CenterFreqHz
+		if math.Abs(off) > usable {
+			continue
+		}
+		oscs = append(oscs, osc{
+			phase: rng.Uniform(0, 2*math.Pi),
+			step:  2 * math.Pi * off / cfg.SampleRate,
+			kfrac: float64(k),
+			amp:   1 / float64(k),
+		})
+	}
+
+	driftPerSample := cfg.CarrierDriftHzPerS / cfg.SampleRate
+
+	// Spread-spectrum dither: a reflected random walk of the
+	// fundamental within +/- FreqDitherHz.
+	var wander, wanderStep float64
+	if cfg.FreqDitherHz > 0 {
+		rate := cfg.FreqDitherRateHz
+		if rate <= 0 {
+			rate = 1000
+		}
+		// Per-sample step sized so the walk crosses the full range at
+		// roughly the requested rate.
+		wanderStep = cfg.FreqDitherHz * math.Sqrt(rate/cfg.SampleRate)
+		wander = rng.Uniform(-cfg.FreqDitherHz, cfg.FreqDitherHz)
+	}
+
+	for i := 0; i < n; i++ {
+		var dn float64
+		if cfg.PhaseNoiseSigma > 0 {
+			dn = rng.Normal(0, cfg.PhaseNoiseSigma)
+		}
+		if wanderStep > 0 {
+			wander += rng.Normal(0, wanderStep)
+			if wander > cfg.FreqDitherHz {
+				wander = 2*cfg.FreqDitherHz - wander
+			} else if wander < -cfg.FreqDitherHz {
+				wander = -2*cfg.FreqDitherHz - wander
+			}
+			dn += 2 * math.Pi * wander / cfg.SampleRate
+		}
+		if driftPerSample != 0 {
+			// Linear frequency drift: the accumulated offset after i
+			// samples is drift * i / fs Hz.
+			dn += 2 * math.Pi * driftPerSample * float64(i) / cfg.SampleRate
+		}
+		a := cfg.EmitterGain * env[i]
+		var acc complex128
+		for j := range oscs {
+			o := &oscs[j]
+			o.phase += o.step + o.kfrac*dn
+			// Keep the accumulated phase small for float accuracy.
+			if o.phase > math.Pi {
+				o.phase -= 2 * math.Pi
+			} else if o.phase < -math.Pi {
+				o.phase += 2 * math.Pi
+			}
+			s, c := math.Sincos(o.phase)
+			acc += complex(a*o.amp*c, a*o.amp*s)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// RMS returns the root-mean-square magnitude of an IQ stream.
+func RMS(iq []complex128) float64 {
+	if len(iq) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range iq {
+		re, im := real(v), imag(v)
+		sum += re*re + im*im
+	}
+	return math.Sqrt(sum / float64(len(iq)))
+}

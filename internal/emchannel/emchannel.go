@@ -1,0 +1,203 @@
+// Package emchannel models the propagation path between the laptop's
+// VRM and the attacker's antenna: near-field distance attenuation, wall
+// penetration loss, co-located interference sources (the paper's NLoS
+// setup has a printer in the transmitter's room and a refrigerator in
+// the receiver's room), and additive receiver-referred noise.
+package emchannel
+
+import (
+	"fmt"
+	"math"
+
+	"pmuleak/internal/xrand"
+)
+
+// InterfererKind selects the interference waveform.
+type InterfererKind int
+
+const (
+	// CW is a continuous narrowband carrier (e.g. another switching
+	// supply running at constant load).
+	CW InterfererKind = iota
+	// Pulsed is a carrier gated on/off periodically (motor controller,
+	// compressor electronics).
+	Pulsed
+	// Broadband is wideband Gaussian noise bursts.
+	Broadband
+)
+
+// Interferer is one environmental EM source, described in the receiver's
+// baseband.
+type Interferer struct {
+	Kind      InterfererKind
+	OffsetHz  float64 // baseband frequency offset of the carrier
+	Amplitude float64 // field amplitude at the receiver
+	// For Pulsed and Broadband: gate period and duty cycle.
+	PeriodS float64
+	Duty    float64
+}
+
+// Config describes one propagation path.
+type Config struct {
+	// DistanceM is the antenna-to-VRM distance in meters.
+	DistanceM float64
+
+	// RefDistanceM is the distance at which the emitter gain was
+	// calibrated (path gain = 1). The paper's near-field measurements
+	// use a 10 cm probe placement.
+	RefDistanceM float64
+
+	// NearFieldExponent is the amplitude roll-off exponent. Magnetic
+	// near-field induction decays as 1/d^3; far-field would be 1/d.
+	NearFieldExponent float64
+
+	// WallLossDB is the penetration loss (power dB) of any wall in the
+	// path. 0 for line of sight.
+	WallLossDB float64
+
+	// NoiseSigma is the standard deviation (per I/Q component) of the
+	// additive Gaussian noise referred to the antenna output.
+	NoiseSigma float64
+
+	Interferers []Interferer
+}
+
+// DefaultConfig returns the near-field setup: a probe 10 cm from the
+// laptop, no wall, a realistic office noise floor.
+func DefaultConfig() Config {
+	return Config{
+		DistanceM:         0.10,
+		RefDistanceM:      0.10,
+		NearFieldExponent: 3,
+		NoiseSigma:        0.004,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DistanceM <= 0 || c.RefDistanceM <= 0 {
+		return fmt.Errorf("emchannel: distances must be positive")
+	}
+	if c.NearFieldExponent < 1 || c.NearFieldExponent > 4 {
+		return fmt.Errorf("emchannel: NearFieldExponent %v out of range [1,4]", c.NearFieldExponent)
+	}
+	if c.WallLossDB < 0 {
+		return fmt.Errorf("emchannel: negative WallLossDB")
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("emchannel: negative NoiseSigma")
+	}
+	for i, in := range c.Interferers {
+		if in.Amplitude < 0 {
+			return fmt.Errorf("emchannel: interferer %d has negative amplitude", i)
+		}
+		if in.Kind != CW && (in.PeriodS <= 0 || in.Duty < 0 || in.Duty > 1) {
+			return fmt.Errorf("emchannel: interferer %d has bad gating (period %v duty %v)",
+				i, in.PeriodS, in.Duty)
+		}
+	}
+	return nil
+}
+
+// PathGain returns the amplitude gain of the path (distance roll-off
+// plus wall loss). It is 1 at the reference distance with no wall.
+func (c Config) PathGain() float64 {
+	g := math.Pow(c.RefDistanceM/c.DistanceM, c.NearFieldExponent)
+	// WallLossDB is a power loss; amplitude scales with its square root.
+	g *= math.Pow(10, -c.WallLossDB/20)
+	return g
+}
+
+// Apply propagates the IQ stream through the channel: scales by the path
+// gain, then adds interference and noise. A new slice is returned; the
+// input is not modified. sampleRate is needed to synthesize the
+// interferers.
+func Apply(iq []complex128, sampleRate float64, cfg Config, rng *xrand.Source) []complex128 {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if sampleRate <= 0 {
+		panic("emchannel: sampleRate must be positive")
+	}
+	gain := cfg.PathGain()
+	out := make([]complex128, len(iq))
+	for i, v := range iq {
+		out[i] = v * complex(gain, 0)
+	}
+	for _, in := range cfg.Interferers {
+		addInterferer(out, sampleRate, in, rng)
+	}
+	if cfg.NoiseSigma > 0 {
+		for i := range out {
+			out[i] += complex(rng.Normal(0, cfg.NoiseSigma), rng.Normal(0, cfg.NoiseSigma))
+		}
+	}
+	return out
+}
+
+func addInterferer(iq []complex128, sampleRate float64, in Interferer, rng *xrand.Source) {
+	if in.Amplitude == 0 {
+		return
+	}
+	phase := rng.Uniform(0, 2*math.Pi)
+	step := 2 * math.Pi * in.OffsetHz / sampleRate
+	gateSamples := int(in.PeriodS * sampleRate)
+	onSamples := int(in.Duty * float64(gateSamples))
+	for i := range iq {
+		on := true
+		if in.Kind != CW && gateSamples > 0 {
+			on = i%gateSamples < onSamples
+		}
+		if !on {
+			continue
+		}
+		switch in.Kind {
+		case Broadband:
+			iq[i] += complex(rng.Normal(0, in.Amplitude), rng.Normal(0, in.Amplitude))
+		default:
+			phase += step
+			if phase > math.Pi {
+				phase -= 2 * math.Pi
+			} else if phase < -math.Pi {
+				phase += 2 * math.Pi
+			}
+			s, c := math.Sincos(phase)
+			iq[i] += complex(in.Amplitude*c, in.Amplitude*s)
+		}
+	}
+}
+
+// OfficePrinter returns the paper's Fig. 10 printer-style interferer: a
+// pulsed switching supply a few hundred kHz off the band center.
+func OfficePrinter(amplitude float64) Interferer {
+	return Interferer{
+		Kind:      Pulsed,
+		OffsetHz:  -320e3,
+		Amplitude: amplitude,
+		PeriodS:   0.004,
+		Duty:      0.6,
+	}
+}
+
+// Refrigerator returns a compressor-electronics interferer: a slow
+// pulsed carrier close to the fundamental.
+func Refrigerator(amplitude float64) Interferer {
+	return Interferer{
+		Kind:      Pulsed,
+		OffsetHz:  -460e3,
+		Amplitude: amplitude,
+		PeriodS:   0.02,
+		Duty:      0.5,
+	}
+}
+
+// OfficeBroadband returns a weak wideband noise source (cabling pickup,
+// digital crosstalk).
+func OfficeBroadband(amplitude float64) Interferer {
+	return Interferer{
+		Kind:      Broadband,
+		Amplitude: amplitude,
+		PeriodS:   0.001,
+		Duty:      1,
+	}
+}

@@ -1,0 +1,221 @@
+package emchannel
+
+import (
+	"math"
+	"testing"
+
+	"pmuleak/internal/dsp"
+	"pmuleak/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.DistanceM = 0 },
+		func(c *Config) { c.RefDistanceM = 0 },
+		func(c *Config) { c.NearFieldExponent = 0 },
+		func(c *Config) { c.NearFieldExponent = 10 },
+		func(c *Config) { c.WallLossDB = -3 },
+		func(c *Config) { c.NoiseSigma = -1 },
+		func(c *Config) { c.Interferers = []Interferer{{Amplitude: -1}} },
+		func(c *Config) {
+			c.Interferers = []Interferer{{Kind: Pulsed, Amplitude: 1, PeriodS: 0}}
+		},
+		func(c *Config) {
+			c.Interferers = []Interferer{{Kind: Pulsed, Amplitude: 1, PeriodS: 1, Duty: 2}}
+		},
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPathGainReference(t *testing.T) {
+	cfg := DefaultConfig()
+	if g := cfg.PathGain(); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("reference gain = %v, want 1", g)
+	}
+}
+
+func TestPathGainNearFieldRollOff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DistanceM = 0.20 // double the distance
+	// 1/d^3 amplitude: doubling distance divides amplitude by 8.
+	if g := cfg.PathGain(); math.Abs(g-0.125) > 1e-9 {
+		t.Fatalf("gain at 2x distance = %v, want 0.125", g)
+	}
+}
+
+func TestPathGainMonotoneInDistance(t *testing.T) {
+	cfg := DefaultConfig()
+	prev := math.Inf(1)
+	for _, d := range []float64{0.1, 0.5, 1, 1.5, 2.5} {
+		cfg.DistanceM = d
+		g := cfg.PathGain()
+		if g >= prev {
+			t.Fatalf("gain not decreasing at d=%v", d)
+		}
+		prev = g
+	}
+}
+
+func TestWallLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	clear := cfg.PathGain()
+	cfg.WallLossDB = 20
+	walled := cfg.PathGain()
+	// 20 dB power = 10x amplitude.
+	if math.Abs(walled-clear/10) > 1e-9 {
+		t.Fatalf("wall gain = %v, want %v", walled, clear/10)
+	}
+}
+
+func TestApplyScalesSignal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DistanceM = 0.2
+	cfg.NoiseSigma = 0
+	in := []complex128{1, 2i, -3}
+	out := Apply(in, 2.4e6, cfg, xrand.New(1))
+	for i := range in {
+		want := in[i] * complex(cfg.PathGain(), 0)
+		if out[i] != want {
+			t.Fatalf("sample %d = %v, want %v", i, out[i], want)
+		}
+	}
+	// Input untouched.
+	if in[0] != 1 {
+		t.Fatal("Apply modified its input")
+	}
+}
+
+func TestApplyAddsNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0.5
+	in := make([]complex128, 100000)
+	out := Apply(in, 2.4e6, cfg, xrand.New(2))
+	var sum float64
+	for _, v := range out {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	rms := math.Sqrt(sum / float64(len(out)))
+	want := 0.5 * math.Sqrt2 // complex noise power = 2 sigma^2
+	if math.Abs(rms-want) > 0.02 {
+		t.Fatalf("noise RMS = %v, want ~%v", rms, want)
+	}
+}
+
+func TestCWInterfererAppearsAtOffset(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.Interferers = []Interferer{{Kind: CW, OffsetHz: 300e3, Amplitude: 1}}
+	in := make([]complex128, 1<<15)
+	out := Apply(in, 2.4e6, cfg, xrand.New(3))
+	psd := dsp.WelchPSD(out, 4096)
+	_, peak := dsp.Max(psd)
+	want := dsp.FrequencyBin(300e3, 4096, 2.4e6)
+	if peak != want {
+		t.Fatalf("interferer peak at bin %d, want %d", peak, want)
+	}
+}
+
+func TestPulsedInterfererGates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.Interferers = []Interferer{{
+		Kind: Pulsed, OffsetHz: 100e3, Amplitude: 1, PeriodS: 0.001, Duty: 0.25,
+	}}
+	const sr = 1e6
+	in := make([]complex128, 10000) // 10 ms
+	out := Apply(in, sr, cfg, xrand.New(4))
+	// Count samples with energy: should be ~25%.
+	on := 0
+	for _, v := range out {
+		if real(v)*real(v)+imag(v)*imag(v) > 0.5 {
+			on++
+		}
+	}
+	frac := float64(on) / float64(len(out))
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("pulsed duty = %v, want ~0.25", frac)
+	}
+}
+
+func TestBroadbandInterfererIsWideband(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.Interferers = []Interferer{OfficeBroadband(0.3)}
+	in := make([]complex128, 1<<15)
+	out := Apply(in, 2.4e6, cfg, xrand.New(5))
+	psd := dsp.WelchPSD(out, 1024)
+	peak, _ := dsp.Max(psd)
+	mean := dsp.Mean(psd)
+	// Wideband: no bin dominates.
+	if peak > 10*mean {
+		t.Fatalf("broadband interferer has narrowband peak: peak %v mean %v", peak, mean)
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Interferers = []Interferer{OfficePrinter(0.1), Refrigerator(0.05)}
+	in := make([]complex128, 4096)
+	for i := range in {
+		in[i] = complex(float64(i%7), 0)
+	}
+	a := Apply(in, 2.4e6, cfg, xrand.New(6))
+	b := Apply(in, 2.4e6, cfg, xrand.New(6))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestApplyBadSampleRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Apply(nil, 0, DefaultConfig(), xrand.New(1))
+}
+
+func TestInterfererFactories(t *testing.T) {
+	for _, in := range []Interferer{OfficePrinter(0.5), Refrigerator(0.5), OfficeBroadband(0.5)} {
+		cfg := DefaultConfig()
+		cfg.Interferers = []Interferer{in}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("factory interferer invalid: %v", err)
+		}
+	}
+}
+
+func TestSNRDegradesWithDistance(t *testing.T) {
+	// End-to-end sanity: fixed transmit amplitude, growing distance,
+	// constant noise -> SNR strictly falls.
+	in := make([]complex128, 8192)
+	for i := range in {
+		in[i] = complex(math.Cos(2*math.Pi*0.1*float64(i)), math.Sin(2*math.Pi*0.1*float64(i)))
+	}
+	var prev = math.Inf(1)
+	for _, d := range []float64{0.1, 0.5, 1.0, 2.5} {
+		cfg := DefaultConfig()
+		cfg.DistanceM = d
+		cfg.NoiseSigma = 0.001
+		out := Apply(in, 2.4e6, cfg, xrand.New(7))
+		var sig float64
+		for _, v := range out {
+			sig += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if sig >= prev {
+			t.Fatalf("received power not decreasing at d=%v", d)
+		}
+		prev = sig
+	}
+}

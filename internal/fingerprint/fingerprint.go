@@ -1,0 +1,186 @@
+// Package fingerprint implements the paper's attack model (ii-b):
+// inferring which task a computer just performed from how long its
+// processor stayed active, observed purely through the VRM's EM
+// emanations ("by measuring how long it takes to load a webpage, the
+// attacker can infer which website was loaded", §III).
+//
+// The attack has two phases: a profiling phase, where the attacker
+// measures each candidate workload's EM activity signature on a
+// reference machine, and an attack phase, where victim activity bursts
+// are classified against those profiles.
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/sim"
+)
+
+// Site is one candidate workload (a web page, an application launch...)
+// characterized by the CPU time its handling consumes.
+type Site struct {
+	Name    string
+	CPUTime sim.Time
+}
+
+// DefaultCatalog returns a representative set of page-load workloads.
+func DefaultCatalog() []Site {
+	return []Site{
+		{"text-only blog", 60 * sim.Millisecond},
+		{"news front page", 140 * sim.Millisecond},
+		{"webmail client", 230 * sim.Millisecond},
+		{"video portal", 340 * sim.Millisecond},
+	}
+}
+
+// Profile is one trained class: the mean and spread of the EM-measured
+// activity duration for a site.
+type Profile struct {
+	Name   string
+	MeanS  float64
+	StdS   float64
+	Trials int
+}
+
+// Classifier matches observed durations to trained profiles.
+type Classifier struct {
+	Profiles []Profile
+}
+
+// Train measures each site reps times on a testbed built by mkTB (called
+// with a fresh seed per trial so trials are independent) and returns the
+// fitted classifier. Sites whose measurements all fail are omitted; an
+// error is returned if nothing could be profiled.
+func Train(mkTB func(seed int64) *core.Testbed, sites []Site, reps int, seed int64) (*Classifier, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("fingerprint: reps must be >= 1")
+	}
+	c := &Classifier{}
+	trial := seed
+	for _, s := range sites {
+		var durations []float64
+		for r := 0; r < reps; r++ {
+			trial++
+			tb := mkTB(trial)
+			d, err := tb.ActivityDuration(s.CPUTime)
+			if err != nil {
+				continue
+			}
+			durations = append(durations, d)
+		}
+		if len(durations) == 0 {
+			continue
+		}
+		mean := 0.0
+		for _, d := range durations {
+			mean += d
+		}
+		mean /= float64(len(durations))
+		variance := 0.0
+		for _, d := range durations {
+			variance += (d - mean) * (d - mean)
+		}
+		variance /= float64(len(durations))
+		c.Profiles = append(c.Profiles, Profile{
+			Name:   s.Name,
+			MeanS:  mean,
+			StdS:   math.Sqrt(variance),
+			Trials: len(durations),
+		})
+	}
+	if len(c.Profiles) == 0 {
+		return nil, fmt.Errorf("fingerprint: no site could be profiled")
+	}
+	sort.Slice(c.Profiles, func(i, j int) bool {
+		return c.Profiles[i].MeanS < c.Profiles[j].MeanS
+	})
+	return c, nil
+}
+
+// Classify returns the profile whose mean duration is nearest the
+// observation, with the z-score distance to that profile as confidence
+// context (small is confident).
+func (c *Classifier) Classify(durationS float64) (name string, z float64) {
+	best := math.Inf(1)
+	for _, p := range c.Profiles {
+		d := math.Abs(durationS - p.MeanS)
+		if d < best {
+			best = d
+			name = p.Name
+			sigma := p.StdS
+			if sigma <= 0 {
+				sigma = 0.005
+			}
+			z = d / sigma
+		}
+	}
+	return name, z
+}
+
+// Separability reports the smallest gap between adjacent profile means
+// in units of their pooled spread: below ~2 the classes overlap and
+// misclassification is expected.
+func (c *Classifier) Separability() float64 {
+	if len(c.Profiles) < 2 {
+		return math.Inf(1)
+	}
+	worst := math.Inf(1)
+	for i := 1; i < len(c.Profiles); i++ {
+		a, b := c.Profiles[i-1], c.Profiles[i]
+		spread := (a.StdS + b.StdS) / 2
+		if spread <= 0 {
+			spread = 0.0025
+		}
+		if gap := (b.MeanS - a.MeanS) / spread; gap < worst {
+			worst = gap
+		}
+	}
+	return worst
+}
+
+// Result is the outcome of an attack-phase evaluation.
+type Result struct {
+	Trials  int
+	Correct int
+	// Confusion[truth][guess] counts classifications.
+	Confusion map[string]map[string]int
+}
+
+// Accuracy is the fraction of trials classified correctly.
+func (r Result) Accuracy() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Trials)
+}
+
+// Evaluate runs the attack phase: for each site, trials victim page
+// loads are measured on fresh testbeds and classified.
+func Evaluate(c *Classifier, mkTB func(seed int64) *core.Testbed,
+	sites []Site, trials int, seed int64) Result {
+	res := Result{Confusion: map[string]map[string]int{}}
+	trial := seed
+	for _, s := range sites {
+		for t := 0; t < trials; t++ {
+			trial++
+			tb := mkTB(trial)
+			d, err := tb.ActivityDuration(s.CPUTime)
+			if err != nil {
+				continue
+			}
+			guess, _ := c.Classify(d)
+			if res.Confusion[s.Name] == nil {
+				res.Confusion[s.Name] = map[string]int{}
+			}
+			res.Confusion[s.Name][guess]++
+			res.Trials++
+			if guess == s.Name {
+				res.Correct++
+			}
+		}
+	}
+	return res
+}

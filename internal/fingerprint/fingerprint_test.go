@@ -1,0 +1,142 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/sdr"
+	"pmuleak/internal/sim"
+)
+
+func nearTB(seed int64) *core.Testbed {
+	return core.NewTestbed(core.WithSeed(seed))
+}
+
+func farTB(seed int64) *core.Testbed {
+	return core.NewTestbed(
+		core.WithSeed(seed),
+		core.WithDistance(2.0),
+		core.WithAntenna(sdr.LoopLA390),
+	)
+}
+
+func TestTrainProducesOrderedProfiles(t *testing.T) {
+	c, err := Train(nearTB, DefaultCatalog(), 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Profiles) != len(DefaultCatalog()) {
+		t.Fatalf("profiled %d of %d sites", len(c.Profiles), len(DefaultCatalog()))
+	}
+	for i := 1; i < len(c.Profiles); i++ {
+		if c.Profiles[i].MeanS <= c.Profiles[i-1].MeanS {
+			t.Fatal("profiles not ordered by duration")
+		}
+	}
+	// Measured durations track the configured CPU times.
+	for _, p := range c.Profiles {
+		var want float64
+		for _, s := range DefaultCatalog() {
+			if s.Name == p.Name {
+				want = s.CPUTime.Seconds()
+			}
+		}
+		if p.MeanS < 0.7*want || p.MeanS > 1.6*want {
+			t.Errorf("%s: measured %.3fs for %.3fs of CPU time", p.Name, p.MeanS, want)
+		}
+	}
+}
+
+func TestTrainRejectsBadReps(t *testing.T) {
+	if _, err := Train(nearTB, DefaultCatalog(), 0, 1); err == nil {
+		t.Fatal("reps=0 accepted")
+	}
+}
+
+func TestClassifyNearest(t *testing.T) {
+	c := &Classifier{Profiles: []Profile{
+		{Name: "short", MeanS: 0.05, StdS: 0.005},
+		{Name: "long", MeanS: 0.30, StdS: 0.005},
+	}}
+	if name, _ := c.Classify(0.06); name != "short" {
+		t.Fatalf("classified %q", name)
+	}
+	if name, z := c.Classify(0.31); name != "long" || z > 3 {
+		t.Fatalf("classified %q z=%v", name, z)
+	}
+}
+
+func TestSeparability(t *testing.T) {
+	tight := &Classifier{Profiles: []Profile{
+		{MeanS: 0.10, StdS: 0.05}, {MeanS: 0.12, StdS: 0.05},
+	}}
+	wide := &Classifier{Profiles: []Profile{
+		{MeanS: 0.10, StdS: 0.005}, {MeanS: 0.30, StdS: 0.005},
+	}}
+	if tight.Separability() >= wide.Separability() {
+		t.Fatal("separability ordering wrong")
+	}
+	single := &Classifier{Profiles: []Profile{{MeanS: 1}}}
+	if s := single.Separability(); !(s > 1e9) {
+		t.Fatalf("single-class separability = %v", s)
+	}
+}
+
+func TestEndToEndNearFieldFingerprinting(t *testing.T) {
+	c, err := Train(nearTB, DefaultCatalog(), 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Evaluate(c, nearTB, DefaultCatalog(), 3, 300)
+	if res.Trials != 12 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+	if res.Accuracy() < 0.9 {
+		t.Fatalf("near-field accuracy = %v (confusion %v)", res.Accuracy(), res.Confusion)
+	}
+}
+
+func TestEndToEndDistanceFingerprinting(t *testing.T) {
+	// The attack works at 2 m with the loop antenna, like keylogging.
+	c, err := Train(farTB, DefaultCatalog(), 2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Evaluate(c, farTB, DefaultCatalog(), 2, 500)
+	if res.Accuracy() < 0.75 {
+		t.Fatalf("2m accuracy = %v (confusion %v)", res.Accuracy(), res.Confusion)
+	}
+}
+
+func TestConfusionBookkeeping(t *testing.T) {
+	c, _ := Train(nearTB, DefaultCatalog()[:2], 1, 600)
+	res := Evaluate(c, nearTB, DefaultCatalog()[:2], 2, 700)
+	total := 0
+	for _, row := range res.Confusion {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != res.Trials {
+		t.Fatalf("confusion total %d != trials %d", total, res.Trials)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if (Result{}).Accuracy() != 0 {
+		t.Fatal("empty accuracy not 0")
+	}
+}
+
+func TestCatalogSane(t *testing.T) {
+	sites := DefaultCatalog()
+	if len(sites) < 3 {
+		t.Fatal("catalog too small")
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i].CPUTime <= sites[i-1].CPUTime {
+			t.Fatal("catalog not ordered by CPU time")
+		}
+	}
+	_ = sim.Millisecond
+}

@@ -1,0 +1,470 @@
+// Package kernel simulates the operating-system behaviour the attack
+// depends on: user processes alternating between CPU-bound work and
+// sleep, sleep timers with OS-specific granularity and positively skewed
+// overshoot, periodic scheduler ticks, asynchronous interrupts, and
+// background workloads.
+//
+// The kernel's observable output is an activity trace — the merged set
+// of time intervals during which the (single simulated) CPU was busy.
+// The power-management model consumes that trace to decide P-/C-states,
+// which in turn drives the voltage regulator and the EM emission model.
+//
+// Processes are written as ordinary Go functions that call Busy and
+// Sleep on their Proc handle, mirroring the paper's transmitter code
+// (Fig. 3) almost line for line. Each process runs on its own goroutine
+// but in strict alternation with the simulation loop, so execution is
+// fully deterministic.
+package kernel
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"pmuleak/internal/sim"
+	"pmuleak/internal/xrand"
+)
+
+// OSKind selects the operating-system timing model.
+type OSKind int
+
+const (
+	Linux OSKind = iota
+	MacOS
+	Windows
+)
+
+// String returns the OS family name.
+func (o OSKind) String() string {
+	switch o {
+	case Linux:
+		return "Linux"
+	case MacOS:
+		return "macOS"
+	case Windows:
+		return "Windows"
+	}
+	return fmt.Sprintf("OSKind(%d)", int(o))
+}
+
+// Config holds the timing parameters of the simulated OS.
+type Config struct {
+	OS OSKind
+
+	// Cores is the number of CPU cores (0 and 1 both mean one).
+	// Processes are pinned to cores round-robin at Spawn (or
+	// explicitly with SpawnOn); activity is accounted per core.
+	Cores int
+
+	// TimerGranularity is the resolution of the sleep timer: sleep
+	// requests round up to a multiple of it. Linux/macOS hrtimers are
+	// microsecond-class; Windows Sleep() is millisecond-class.
+	TimerGranularity sim.Time
+
+	// WakeupLatency is the fixed extra delay between timer expiry and
+	// the process actually running again (timer interrupt, scheduler).
+	WakeupLatency sim.Time
+
+	// WakeupJitterSigma is the Rayleigh scale of the additional,
+	// positively skewed sleep overshoot. This is the dominant source
+	// of the signaling-period spread in Fig. 6.
+	WakeupJitterSigma sim.Time
+
+	// SyscallOverhead is the CPU-busy time consumed on each side of a
+	// sleep call (entering the kernel, and the housekeeping after
+	// wakeup). It is why "the signal exhibits a sharp increase
+	// whenever a new bit is transmitted, even when the bit is a zero"
+	// (§IV-B1).
+	SyscallOverhead sim.Time
+
+	// TickInterval and TickWork model the periodic scheduler tick.
+	// Zero TickInterval disables the tick (a "tickless" kernel).
+	TickInterval sim.Time
+	TickWork     sim.Time
+
+	// InterruptRate is the mean rate (per second) of asynchronous
+	// background interrupts; each consumes a busy burst of duration
+	// uniform in [InterruptWorkMin, InterruptWorkMax].
+	InterruptRate    float64
+	InterruptWorkMin sim.Time
+	InterruptWorkMax sim.Time
+}
+
+// DefaultConfig returns a realistic timing model for the given OS family.
+func DefaultConfig(os OSKind) Config {
+	switch os {
+	case Windows:
+		return Config{
+			OS:                Windows,
+			TimerGranularity:  500 * sim.Microsecond,
+			WakeupLatency:     20 * sim.Microsecond,
+			WakeupJitterSigma: 30 * sim.Microsecond,
+			SyscallOverhead:   18 * sim.Microsecond,
+			TickInterval:      sim.Millisecond,
+			TickWork:          3 * sim.Microsecond,
+			InterruptRate:     120,
+			InterruptWorkMin:  5 * sim.Microsecond,
+			InterruptWorkMax:  60 * sim.Microsecond,
+		}
+	case MacOS:
+		return Config{
+			OS:                MacOS,
+			TimerGranularity:  sim.Microsecond,
+			WakeupLatency:     6 * sim.Microsecond,
+			WakeupJitterSigma: 9 * sim.Microsecond,
+			SyscallOverhead:   12 * sim.Microsecond,
+			TickInterval:      sim.Millisecond,
+			TickWork:          2 * sim.Microsecond,
+			InterruptRate:     100,
+			InterruptWorkMin:  4 * sim.Microsecond,
+			InterruptWorkMax:  50 * sim.Microsecond,
+		}
+	default: // Linux
+		return Config{
+			OS:                Linux,
+			TimerGranularity:  sim.Microsecond,
+			WakeupLatency:     5 * sim.Microsecond,
+			WakeupJitterSigma: 8 * sim.Microsecond,
+			SyscallOverhead:   10 * sim.Microsecond,
+			TickInterval:      sim.Millisecond,
+			TickWork:          2 * sim.Microsecond,
+			InterruptRate:     90,
+			InterruptWorkMin:  4 * sim.Microsecond,
+			InterruptWorkMax:  50 * sim.Microsecond,
+		}
+	}
+}
+
+// Span is a half-open interval [Start, End) during which a CPU core was
+// busy.
+type Span struct {
+	Start, End sim.Time
+	// Core is the CPU core the activity ran on.
+	Core int
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+type opKind int
+
+const (
+	opBusy opKind = iota
+	opSleep
+	opExit
+)
+
+type op struct {
+	kind opKind
+	d    sim.Time
+}
+
+// Proc is the handle a simulated process uses to interact with the
+// kernel. Its methods may only be called from the process body function.
+type Proc struct {
+	k      *Kernel
+	name   string
+	core   int
+	resume chan struct{}
+	req    chan op
+	exited bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Core returns the CPU core this process is pinned to.
+func (p *Proc) Core() int { return p.core }
+
+// Now reports the current simulated time. Inside a process body this is
+// the instant the process resumed.
+func (p *Proc) Now() sim.Time { return p.k.sched.Now() }
+
+// Busy consumes CPU for exactly d of simulated time, recording it as
+// activity. d must be non-negative; Busy(0) is a no-op that still yields
+// to the kernel.
+func (p *Proc) Busy(d sim.Time) {
+	if d < 0 {
+		panic("kernel: negative Busy duration")
+	}
+	p.issue(op{opBusy, d})
+}
+
+// Sleep requests that the process sleep for d. The actual sleep is
+// longer: the request rounds up to the timer granularity and then incurs
+// wakeup latency plus a positively skewed jitter, exactly the usleep()
+// behaviour the paper measures. The syscall overhead on both sides is
+// recorded as CPU activity.
+func (p *Proc) Sleep(d sim.Time) {
+	if d < 0 {
+		panic("kernel: negative Sleep duration")
+	}
+	p.issue(op{opSleep, d})
+}
+
+// issue hands the operation to the kernel loop and blocks until the
+// kernel resumes this process.
+func (p *Proc) issue(o op) {
+	p.req <- o
+	if _, ok := <-p.resume; !ok {
+		// Kernel shut down while we were blocked: unwind this
+		// goroutine without running the rest of the body.
+		p.exited = true
+		runtime.Goexit()
+	}
+}
+
+// Kernel is the simulated operating system. Create one with New, spawn
+// workloads, then call Run; afterwards Activity returns the busy trace.
+type Kernel struct {
+	cfg      Config
+	sched    *sim.Scheduler
+	rng      *xrand.Source
+	spans    []Span
+	procs    []*Proc
+	nextCore int
+}
+
+// New creates a kernel over a fresh scheduler. The seed controls every
+// stochastic OS effect (jitter, interrupts).
+func New(cfg Config, seed int64) *Kernel {
+	k := &Kernel{
+		cfg:   cfg,
+		sched: sim.NewScheduler(),
+		rng:   xrand.New(seed),
+	}
+	if cfg.TickInterval > 0 {
+		k.scheduleTick(cfg.TickInterval)
+	}
+	if cfg.InterruptRate > 0 {
+		k.scheduleInterrupt()
+	}
+	return k
+}
+
+// Scheduler exposes the underlying event scheduler, used by models that
+// need to inject events (e.g. keystroke arrival).
+func (k *Kernel) Scheduler() *sim.Scheduler { return k.sched }
+
+// Config returns the kernel's timing configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() sim.Time { return k.sched.Now() }
+
+// Cores reports the configured core count (at least one).
+func (k *Kernel) Cores() int {
+	if k.cfg.Cores < 1 {
+		return 1
+	}
+	return k.cfg.Cores
+}
+
+func (k *Kernel) scheduleTick(at sim.Time) {
+	k.sched.At(at, func() {
+		// The timekeeping core handles the tick.
+		k.addSpan(k.sched.Now(), k.sched.Now()+k.cfg.TickWork, 0)
+		k.scheduleTick(k.sched.Now() + k.cfg.TickInterval)
+	})
+}
+
+func (k *Kernel) scheduleInterrupt() {
+	gap := sim.FromSeconds(k.rng.Exp(1 / k.cfg.InterruptRate))
+	if gap < sim.Microsecond {
+		gap = sim.Microsecond
+	}
+	k.sched.After(gap, func() {
+		work := sim.Time(k.rng.Uniform(float64(k.cfg.InterruptWorkMin), float64(k.cfg.InterruptWorkMax)))
+		// Interrupts land on an arbitrary core.
+		k.addSpan(k.sched.Now(), k.sched.Now()+work, k.rng.Intn(k.Cores()))
+		k.scheduleInterrupt()
+	})
+}
+
+// InjectBurst records a CPU-activity burst of duration d starting at
+// absolute time at. It is how external stimuli (keystroke handling, UI
+// work) enter the model without a full process.
+func (k *Kernel) InjectBurst(at, d sim.Time) {
+	if at < k.sched.Now() {
+		panic("kernel: InjectBurst in the past")
+	}
+	k.sched.At(at, func() {
+		k.addSpan(at, at+d, 0)
+	})
+}
+
+// InjectBurstOn is InjectBurst pinned to a specific core.
+func (k *Kernel) InjectBurstOn(core int, at, d sim.Time) {
+	if at < k.sched.Now() {
+		panic("kernel: InjectBurstOn in the past")
+	}
+	if core < 0 || core >= k.Cores() {
+		panic(fmt.Sprintf("kernel: core %d out of range", core))
+	}
+	k.sched.At(at, func() {
+		k.addSpan(at, at+d, core)
+	})
+}
+
+func (k *Kernel) addSpan(start, end sim.Time, core int) {
+	if end > start {
+		k.spans = append(k.spans, Span{Start: start, End: end, Core: core})
+	}
+}
+
+// Spawn starts a process running body at the current simulated time,
+// pinned to the next core round-robin. The body function runs on its
+// own goroutine in strict alternation with the simulation, so ordinary
+// sequential code models the workload.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	core := k.nextCore % k.Cores()
+	k.nextCore++
+	return k.SpawnOn(name, core, body)
+}
+
+// SpawnOn starts a process pinned to the given core.
+func (k *Kernel) SpawnOn(name string, core int, body func(p *Proc)) *Proc {
+	if core < 0 || core >= k.Cores() {
+		panic(fmt.Sprintf("kernel: core %d out of range [0,%d)", core, k.Cores()))
+	}
+	p := &Proc{
+		k:      k,
+		name:   name,
+		core:   core,
+		resume: make(chan struct{}),
+		req:    make(chan op),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		if _, ok := <-p.resume; !ok {
+			return
+		}
+		body(p)
+		p.exited = true
+		p.req <- op{kind: opExit}
+	}()
+	// First dispatch: give the process control at the current instant.
+	k.sched.After(0, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch resumes process p, waits for its next operation, and
+// schedules the continuation.
+func (k *Kernel) dispatch(p *Proc) {
+	p.resume <- struct{}{}
+	o := <-p.req
+	now := k.sched.Now()
+	switch o.kind {
+	case opBusy:
+		k.addSpan(now, now+o.d, p.core)
+		k.sched.At(now+o.d, func() { k.dispatch(p) })
+	case opSleep:
+		// Syscall entry housekeeping is CPU work.
+		k.addSpan(now, now+k.cfg.SyscallOverhead, p.core)
+		sleepStart := now + k.cfg.SyscallOverhead
+		rounded := roundUp(o.d, k.cfg.TimerGranularity)
+		jitter := sim.Time(k.rng.Rayleigh(float64(k.cfg.WakeupJitterSigma)))
+		wake := sleepStart + rounded + k.cfg.WakeupLatency + jitter
+		k.sched.At(wake, func() {
+			// Wakeup housekeeping (timer interrupt, scheduler, the
+			// process reading its next bit) is CPU work too.
+			k.addSpan(wake, wake+k.cfg.SyscallOverhead, p.core)
+			k.sched.At(wake+k.cfg.SyscallOverhead, func() { k.dispatch(p) })
+		})
+	case opExit:
+		// Process finished; nothing more to schedule.
+	}
+}
+
+func roundUp(d, g sim.Time) sim.Time {
+	if g <= 1 {
+		return d
+	}
+	if rem := d % g; rem != 0 {
+		return d + g - rem
+	}
+	return d
+}
+
+// Run advances the simulation by d of simulated time.
+func (k *Kernel) Run(d sim.Time) {
+	k.sched.RunFor(d)
+}
+
+// Close releases any process goroutines still blocked in the kernel.
+// The kernel must not be used afterwards.
+func (k *Kernel) Close() {
+	for _, p := range k.procs {
+		if !p.exited {
+			close(p.resume)
+			// Absorb a possible in-flight request so the goroutine's
+			// Goexit isn't blocked on the send.
+			select {
+			case <-p.req:
+			default:
+			}
+		}
+	}
+	k.procs = nil
+}
+
+// Activity returns the busy trace up to horizon as a sorted, merged,
+// non-overlapping list of spans, clamped to [0, horizon), across all
+// cores (the package-level view a shared VRM sees when any core being
+// busy keeps the package out of deep idle).
+func (k *Kernel) Activity(horizon sim.Time) []Span {
+	return mergeSpans(k.clamped(horizon, -1))
+}
+
+// ActivityOn returns the busy trace of a single core.
+func (k *Kernel) ActivityOn(core int, horizon sim.Time) []Span {
+	return mergeSpans(k.clamped(horizon, core))
+}
+
+// clamped selects spans up to horizon, filtered to one core (or all
+// cores when core < 0).
+func (k *Kernel) clamped(horizon sim.Time, core int) []Span {
+	spans := make([]Span, 0, len(k.spans))
+	for _, s := range k.spans {
+		if core >= 0 && s.Core != core {
+			continue
+		}
+		if s.Start >= horizon {
+			continue
+		}
+		if s.End > horizon {
+			s.End = horizon
+		}
+		if s.End > s.Start {
+			spans = append(spans, s)
+		}
+	}
+	return spans
+}
+
+func mergeSpans(spans []Span) []Span {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	merged := spans[:0]
+	for _, s := range spans {
+		if n := len(merged); n > 0 && s.Start <= merged[n-1].End {
+			if s.End > merged[n-1].End {
+				merged[n-1].End = s.End
+			}
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	return merged
+}
+
+// BusyFraction reports the fraction of [0, horizon) covered by activity.
+func (k *Kernel) BusyFraction(horizon sim.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	var busy sim.Time
+	for _, s := range k.Activity(horizon) {
+		busy += s.Duration()
+	}
+	return float64(busy) / float64(horizon)
+}

@@ -1,0 +1,461 @@
+package kernel
+
+import (
+	"testing"
+
+	"pmuleak/internal/sim"
+)
+
+// quiet returns a config with no background noise, for tests that need
+// exact activity accounting.
+func quiet() Config {
+	return Config{
+		OS:               Linux,
+		TimerGranularity: sim.Microsecond,
+	}
+}
+
+func TestOSKindString(t *testing.T) {
+	if Linux.String() != "Linux" || Windows.String() != "Windows" || MacOS.String() != "macOS" {
+		t.Fatal("OSKind names wrong")
+	}
+	if OSKind(9).String() != "OSKind(9)" {
+		t.Fatal("unknown OSKind string")
+	}
+}
+
+func TestBusyRecordsExactSpan(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	k.Spawn("w", func(p *Proc) {
+		p.Busy(10 * sim.Microsecond)
+	})
+	k.Run(sim.Millisecond)
+	spans := k.Activity(sim.Millisecond)
+	if len(spans) != 1 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].Start != 0 || spans[0].End != 10*sim.Microsecond {
+		t.Fatalf("span = %v", spans[0])
+	}
+}
+
+func TestBusySequenceAccumulates(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	k.Spawn("w", func(p *Proc) {
+		p.Busy(5 * sim.Microsecond)
+		p.Busy(5 * sim.Microsecond) // adjacent spans merge
+	})
+	k.Run(sim.Millisecond)
+	spans := k.Activity(sim.Millisecond)
+	if len(spans) != 1 || spans[0].Duration() != 10*sim.Microsecond {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestSleepCreatesGap(t *testing.T) {
+	cfg := quiet()
+	cfg.SyscallOverhead = 2 * sim.Microsecond
+	k := New(cfg, 1)
+	defer k.Close()
+	k.Spawn("w", func(p *Proc) {
+		p.Busy(10 * sim.Microsecond)
+		p.Sleep(100 * sim.Microsecond)
+		p.Busy(10 * sim.Microsecond)
+	})
+	k.Run(sim.Millisecond)
+	spans := k.Activity(sim.Millisecond)
+	// The busy work and the syscall-entry overhead merge into one
+	// leading span; the wake overhead and trailing busy merge into the
+	// second. Between them lies the sleep gap.
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	gap := spans[1].Start - spans[0].End
+	if gap < 100*sim.Microsecond {
+		t.Fatalf("sleep gap = %v, want >= 100µs", gap)
+	}
+	if gap > 200*sim.Microsecond {
+		t.Fatalf("sleep gap = %v, unreasonably long with zero jitter... cfg=%+v", gap, cfg)
+	}
+}
+
+func TestSleepNeverShort(t *testing.T) {
+	cfg := DefaultConfig(Linux)
+	cfg.InterruptRate = 0
+	cfg.TickInterval = 0
+	k := New(cfg, 7)
+	defer k.Close()
+	var wakes []sim.Time
+	k.Spawn("w", func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			before := p.Now()
+			p.Sleep(50 * sim.Microsecond)
+			wakes = append(wakes, p.Now()-before)
+		}
+	})
+	k.Run(sim.Second)
+	if len(wakes) != 200 {
+		t.Fatalf("got %d sleeps", len(wakes))
+	}
+	for i, w := range wakes {
+		if w < 50*sim.Microsecond {
+			t.Fatalf("sleep %d returned early: %v", i, w)
+		}
+	}
+}
+
+func TestSleepOvershootPositivelySkewed(t *testing.T) {
+	cfg := DefaultConfig(Linux)
+	cfg.InterruptRate = 0
+	cfg.TickInterval = 0
+	k := New(cfg, 8)
+	defer k.Close()
+	var overshoots []float64
+	k.Spawn("w", func(p *Proc) {
+		for i := 0; i < 2000; i++ {
+			before := p.Now()
+			p.Sleep(100 * sim.Microsecond)
+			actual := p.Now() - before
+			overshoots = append(overshoots, float64(actual-100*sim.Microsecond))
+		}
+	})
+	k.Run(10 * sim.Second)
+	if len(overshoots) != 2000 {
+		t.Fatalf("got %d sleeps", len(overshoots))
+	}
+	// Mean overshoot must exceed the median: positive skew.
+	var sum float64
+	for _, v := range overshoots {
+		sum += v
+	}
+	mean := sum / float64(len(overshoots))
+	sorted := append([]float64(nil), overshoots...)
+	for i := 0; i < len(sorted); i++ { // insertion-free selection via sort
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	median := sorted[len(sorted)/2]
+	if mean <= median {
+		t.Fatalf("overshoot not positively skewed: mean %v median %v", mean, median)
+	}
+}
+
+func TestWindowsGranularityCoarserThanLinux(t *testing.T) {
+	lin, win := DefaultConfig(Linux), DefaultConfig(Windows)
+	if win.TimerGranularity <= lin.TimerGranularity {
+		t.Fatal("Windows timer granularity should be coarser than Linux")
+	}
+	measure := func(cfg Config) sim.Time {
+		cfg.InterruptRate = 0
+		cfg.TickInterval = 0
+		cfg.WakeupJitterSigma = 0
+		k := New(cfg, 1)
+		defer k.Close()
+		var took sim.Time
+		k.Spawn("w", func(p *Proc) {
+			before := p.Now()
+			p.Sleep(100 * sim.Microsecond)
+			took = p.Now() - before
+		})
+		k.Run(sim.Second)
+		return took
+	}
+	if linT, winT := measure(lin), measure(win); winT <= linT {
+		t.Fatalf("Windows sleep (%v) should exceed Linux sleep (%v)", winT, linT)
+	}
+}
+
+func TestTickProducesPeriodicActivity(t *testing.T) {
+	cfg := quiet()
+	cfg.TickInterval = sim.Millisecond
+	cfg.TickWork = 10 * sim.Microsecond
+	k := New(cfg, 1)
+	defer k.Close()
+	k.Run(10*sim.Millisecond + 500*sim.Microsecond)
+	spans := k.Activity(10*sim.Millisecond + 500*sim.Microsecond)
+	if len(spans) != 10 {
+		t.Fatalf("got %d tick spans, want 10: %v", len(spans), spans)
+	}
+	for i, s := range spans {
+		if s.Start != sim.Time(i+1)*sim.Millisecond {
+			t.Fatalf("tick %d at %v", i, s.Start)
+		}
+	}
+}
+
+func TestInterruptsArrive(t *testing.T) {
+	cfg := quiet()
+	cfg.InterruptRate = 1000 // 1k/s
+	cfg.InterruptWorkMin = sim.Microsecond
+	cfg.InterruptWorkMax = 10 * sim.Microsecond
+	k := New(cfg, 3)
+	defer k.Close()
+	k.Run(sim.Second)
+	n := len(k.Activity(sim.Second))
+	if n < 700 || n > 1400 {
+		t.Fatalf("got %d interrupt bursts in 1s at rate 1000", n)
+	}
+}
+
+func TestInjectBurst(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	k.InjectBurst(5*sim.Millisecond, 2*sim.Millisecond)
+	k.Run(20 * sim.Millisecond)
+	spans := k.Activity(20 * sim.Millisecond)
+	if len(spans) != 1 || spans[0].Start != 5*sim.Millisecond || spans[0].End != 7*sim.Millisecond {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestInjectBurstPastPanics(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	k.Run(10 * sim.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for past burst")
+		}
+	}()
+	k.InjectBurst(sim.Millisecond, sim.Millisecond)
+}
+
+func TestActivityMergesOverlaps(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	k.InjectBurst(sim.Millisecond, 3*sim.Millisecond)
+	k.InjectBurst(2*sim.Millisecond, 4*sim.Millisecond)
+	k.Run(20 * sim.Millisecond)
+	spans := k.Activity(20 * sim.Millisecond)
+	if len(spans) != 1 || spans[0].Start != sim.Millisecond || spans[0].End != 6*sim.Millisecond {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestActivityClampsToHorizon(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	k.InjectBurst(sim.Millisecond, 10*sim.Millisecond)
+	k.Run(20 * sim.Millisecond)
+	spans := k.Activity(5 * sim.Millisecond)
+	if len(spans) != 1 || spans[0].End != 5*sim.Millisecond {
+		t.Fatalf("spans = %v", spans)
+	}
+	if got := k.Activity(500 * sim.Microsecond); len(got) != 0 {
+		t.Fatalf("pre-burst horizon should be empty: %v", got)
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	k.InjectBurst(0, 25*sim.Millisecond)
+	k.Run(100 * sim.Millisecond)
+	if f := k.BusyFraction(100 * sim.Millisecond); f < 0.24 || f > 0.26 {
+		t.Fatalf("BusyFraction = %v, want 0.25", f)
+	}
+	if f := k.BusyFraction(0); f != 0 {
+		t.Fatalf("BusyFraction(0) = %v", f)
+	}
+}
+
+func TestMultipleProcessesInterleave(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Busy(sim.Millisecond)
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(sim.Millisecond)
+			p.Busy(sim.Millisecond)
+		}
+	})
+	k.Run(20 * sim.Millisecond)
+	// Each process runs 3 iterations of busy(1ms)+sleep(1ms) with
+	// opposite phases, so the first 6 ms are fully covered.
+	if f := k.BusyFraction(6 * sim.Millisecond); f < 0.95 {
+		t.Fatalf("interleaved busy fraction = %v, expected mostly busy", f)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []Span {
+		cfg := DefaultConfig(Linux)
+		k := New(cfg, 42)
+		defer k.Close()
+		k.Spawn("tx", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Busy(80 * sim.Microsecond)
+				p.Sleep(100 * sim.Microsecond)
+			}
+		})
+		k.Run(100 * sim.Millisecond)
+		return k.Activity(100 * sim.Millisecond)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at span %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCloseReleasesBlockedProcesses(t *testing.T) {
+	k := New(quiet(), 1)
+	bodyDone := make(chan bool, 1)
+	k.Spawn("w", func(p *Proc) {
+		defer func() { bodyDone <- true }()
+		for {
+			p.Sleep(sim.Millisecond) // will be abandoned mid-run
+		}
+	})
+	k.Run(10 * sim.Millisecond)
+	k.Close()
+	// After Close the process goroutine must unwind (running defers).
+	// A deadlock here fails the test via the package timeout.
+	if !<-bodyDone {
+		t.Fatal("process body defer reported failure")
+	}
+}
+
+func TestNegativeBusyPanics(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	panicked := make(chan bool, 1)
+	k.Spawn("w", func(p *Proc) {
+		defer func() {
+			panicked <- recover() != nil
+			// swallow the panic so the goroutine can exit cleanly
+			runtimeGoexitShim(p)
+		}()
+		p.Busy(-1)
+	})
+	k.Run(sim.Millisecond)
+	select {
+	case ok := <-panicked:
+		if !ok {
+			t.Fatal("negative Busy did not panic")
+		}
+	default:
+		t.Fatal("process never ran")
+	}
+}
+
+// runtimeGoexitShim marks the proc exited so Close does not try to close
+// its channel twice; used only by the panic test above.
+func runtimeGoexitShim(p *Proc) { p.exited = true }
+
+func TestMultiCoreRoundRobinPinning(t *testing.T) {
+	cfg := quiet()
+	cfg.Cores = 2
+	k := New(cfg, 1)
+	defer k.Close()
+	var cores []int
+	for i := 0; i < 4; i++ {
+		p := k.Spawn("w", func(p *Proc) { p.Busy(sim.Microsecond) })
+		cores = append(cores, p.Core())
+	}
+	k.Run(sim.Millisecond)
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if cores[i] != want[i] {
+			t.Fatalf("pinning = %v", cores)
+		}
+	}
+}
+
+func TestMultiCorePerCoreActivity(t *testing.T) {
+	cfg := quiet()
+	cfg.Cores = 2
+	k := New(cfg, 1)
+	defer k.Close()
+	k.SpawnOn("a", 0, func(p *Proc) { p.Busy(10 * sim.Millisecond) })
+	k.SpawnOn("b", 1, func(p *Proc) {
+		p.Sleep(20 * sim.Millisecond)
+		p.Busy(10 * sim.Millisecond)
+	})
+	k.Run(50 * sim.Millisecond)
+	a := k.ActivityOn(0, 50*sim.Millisecond)
+	b := k.ActivityOn(1, 50*sim.Millisecond)
+	if len(a) != 1 || a[0].Start != 0 {
+		t.Fatalf("core 0 activity = %v", a)
+	}
+	if len(b) != 1 || b[0].Start < 20*sim.Millisecond {
+		t.Fatalf("core 1 activity = %v", b)
+	}
+	// The package view covers both.
+	pkg := k.Activity(50 * sim.Millisecond)
+	if len(pkg) != 2 {
+		t.Fatalf("package activity = %v", pkg)
+	}
+}
+
+func TestMultiCoreOverlapMergesInPackageView(t *testing.T) {
+	cfg := quiet()
+	cfg.Cores = 2
+	k := New(cfg, 1)
+	defer k.Close()
+	k.InjectBurstOn(0, sim.Millisecond, 4*sim.Millisecond)
+	k.InjectBurstOn(1, 2*sim.Millisecond, 5*sim.Millisecond)
+	k.Run(20 * sim.Millisecond)
+	pkg := k.Activity(20 * sim.Millisecond)
+	if len(pkg) != 1 || pkg[0].Start != sim.Millisecond || pkg[0].End != 7*sim.Millisecond {
+		t.Fatalf("package view = %v", pkg)
+	}
+}
+
+func TestSpawnOnBadCorePanics(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	k.SpawnOn("w", 3, func(p *Proc) {})
+}
+
+func TestSingleCoreDefault(t *testing.T) {
+	k := New(quiet(), 1)
+	defer k.Close()
+	if k.Cores() != 1 {
+		t.Fatalf("Cores = %d", k.Cores())
+	}
+	p := k.Spawn("w", func(p *Proc) { p.Busy(sim.Microsecond) })
+	if p.Core() != 0 {
+		t.Fatalf("core = %d", p.Core())
+	}
+	k.Run(sim.Millisecond)
+}
+
+func TestInterruptsSpreadAcrossCores(t *testing.T) {
+	cfg := quiet()
+	cfg.Cores = 4
+	cfg.InterruptRate = 2000
+	cfg.InterruptWorkMin = sim.Microsecond
+	cfg.InterruptWorkMax = 2 * sim.Microsecond
+	k := New(cfg, 5)
+	defer k.Close()
+	k.Run(sim.Second)
+	seen := map[int]bool{}
+	for core := 0; core < 4; core++ {
+		if len(k.ActivityOn(core, sim.Second)) > 0 {
+			seen[core] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("interrupts landed on only %d cores", len(seen))
+	}
+}

@@ -1,0 +1,203 @@
+package keylog
+
+import (
+	"fmt"
+	"math"
+
+	"pmuleak/internal/dsp"
+	"pmuleak/internal/sdr"
+	"pmuleak/internal/sim"
+)
+
+// DetectorConfig parameterizes the keystroke detector of §V-C.
+type DetectorConfig struct {
+	// Window is the STFT segment length (the paper: 5 ms,
+	// non-overlapping).
+	Window sim.Time
+	// ExpectedF0 is the VRM frequency hint; zero means the band is
+	// found by peak detection ("can also be easily found using
+	// standard peak detection techniques").
+	ExpectedF0 float64
+	// BandBins is how many bins around the spike are summed.
+	BandBins int
+	// MinKeystroke filters out bursts shorter than this (30 ms in the
+	// paper: "a valid keystroke should take longer").
+	MinKeystroke sim.Time
+	// MergeGap joins activity separated by less than this, bridging
+	// brief dips inside one keystroke's handling.
+	MergeGap sim.Time
+	// MaxKeystroke caps a detection's length; longer activity is
+	// bulk processor work, not typing.
+	MaxKeystroke sim.Time
+	// TrackBlock re-acquires the spike frequency once per block of
+	// this duration, following the VRM clock's slow thermal drift over
+	// multi-minute captures. Zero uses a single static band.
+	TrackBlock sim.Time
+}
+
+// DefaultDetectorConfig mirrors the paper's settings.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		Window:       2500 * sim.Microsecond,
+		BandBins:     3,
+		MinKeystroke: 30 * sim.Millisecond,
+		MergeGap:     15 * sim.Millisecond,
+		MaxKeystroke: 400 * sim.Millisecond,
+		TrackBlock:   2 * sim.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c DetectorConfig) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("keylog: Window must be positive")
+	}
+	if c.BandBins < 1 {
+		return fmt.Errorf("keylog: BandBins must be >= 1")
+	}
+	if c.MinKeystroke <= 0 || c.MergeGap < 0 {
+		return fmt.Errorf("keylog: bad duration filters")
+	}
+	if c.MaxKeystroke <= c.MinKeystroke {
+		return fmt.Errorf("keylog: MaxKeystroke must exceed MinKeystroke")
+	}
+	if c.TrackBlock < 0 {
+		return fmt.Errorf("keylog: negative TrackBlock")
+	}
+	return nil
+}
+
+// Keystroke is one detected key event, in capture-relative seconds.
+type Keystroke struct {
+	Start, End float64
+}
+
+// Duration returns the keystroke's detected length in seconds.
+func (k Keystroke) Duration() float64 { return k.End - k.Start }
+
+// Mid returns the keystroke's temporal midpoint.
+func (k Keystroke) Mid() float64 { return (k.Start + k.End) / 2 }
+
+// Detection is the detector's full output, retaining the intermediate
+// band-energy trace for the Fig. 11-style spectrogram rendering.
+type Detection struct {
+	Keystrokes []Keystroke
+	// Band is the per-frame normalized spectral sample sequence (SS in
+	// the paper's terminology).
+	Band []float64
+	// FrameDT is seconds per Band frame.
+	FrameDT float64
+	// Threshold is the activity decision level applied to Band.
+	Threshold float64
+}
+
+// Detect runs the §V-C detector: STFT with non-overlapping ~5 ms
+// windows, band selection around the PMU spike, thresholding, a merge
+// pass, and the minimum-duration filter.
+func Detect(cap *sdr.Capture, cfg DetectorConfig) *Detection {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	det := &Detection{}
+	windowSamples := int(cfg.Window.Seconds() * cap.SampleRate)
+	fftSize := dsp.NextPowerOfTwo(windowSamples)
+	if fftSize > len(cap.IQ) {
+		return det
+	}
+	// Non-overlapping windows: hop = fftSize.
+	s := dsp.STFT(cap.IQ, fftSize, fftSize, dsp.Hann(fftSize), cap.SampleRate)
+	det.FrameDT = float64(fftSize) / cap.SampleRate
+
+	// Band selection: start around the expected spike (or the
+	// strongest non-DC peak), then re-acquire per block so the band
+	// follows the VRM clock's slow thermal drift.
+	var center int
+	if cfg.ExpectedF0 > 0 {
+		center = s.Bin(cfg.ExpectedF0 - cap.CenterFreqHz)
+	} else {
+		mean := make([]float64, fftSize)
+		for _, row := range s.Mag {
+			for i, v := range row {
+				mean[i] += v
+			}
+		}
+		mean[0] = 0
+		_, center = dsp.Max(mean)
+	}
+	blockFrames := s.Frames()
+	if cfg.TrackBlock > 0 {
+		blockFrames = int(cfg.TrackBlock.Seconds() / det.FrameDT)
+		if blockFrames < 1 {
+			blockFrames = 1
+		}
+	}
+	// The re-acquisition search window: the drift between blocks is
+	// small, but the initial hint may be a few kHz off.
+	searchBins := int(25e3 * float64(fftSize) / cap.SampleRate)
+	if searchBins < 2 {
+		searchBins = 2
+	}
+	det.Band = make([]float64, s.Frames())
+	for blockStart := 0; blockStart < s.Frames(); blockStart += blockFrames {
+		blockEnd := blockStart + blockFrames
+		if blockEnd > s.Frames() {
+			blockEnd = s.Frames()
+		}
+		// Mean spectrum of the block, searched near the last center.
+		best, bestVal := center, -1.0
+		for d := -searchBins; d <= searchBins; d++ {
+			b := (center + d + fftSize) % fftSize
+			if b == 0 {
+				continue // skip the receiver's DC spike
+			}
+			var sum float64
+			for f := blockStart; f < blockEnd; f++ {
+				sum += s.Mag[f][b]
+			}
+			if sum > bestVal {
+				best, bestVal = b, sum
+			}
+		}
+		center = best
+		bins := make([]int, 0, cfg.BandBins)
+		for i := -(cfg.BandBins - 1) / 2; len(bins) < cfg.BandBins; i++ {
+			bins = append(bins, (center+i+fftSize)%fftSize)
+		}
+		for f := blockStart; f < blockEnd; f++ {
+			var sum float64
+			for _, b := range bins {
+				sum += s.Mag[f][b]
+			}
+			det.Band[f] = sum
+		}
+	}
+	dsp.Normalize(det.Band)
+
+	// Threshold: the trace is near-zero at idle and near-one during a
+	// keystroke burst, so the bimodal threshold lands in the valley.
+	det.Threshold = dsp.BimodalThreshold(det.Band, 40)
+
+	frames := func(d sim.Time) int {
+		// Round up: an interval passes the duration filter only when
+		// it covers at least the full requirement.
+		n := int(math.Ceil(d.Seconds() / det.FrameDT))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	iv := dsp.ThresholdCrossings(det.Band, det.Threshold)
+	iv = dsp.MergeIntervals(iv, frames(cfg.MergeGap))
+	iv = dsp.FilterIntervals(iv, frames(cfg.MinKeystroke))
+	maxFrames := frames(cfg.MaxKeystroke)
+	for _, v := range iv {
+		if v[1]-v[0] > maxFrames {
+			continue
+		}
+		det.Keystrokes = append(det.Keystrokes, Keystroke{
+			Start: float64(v[0]) * det.FrameDT,
+			End:   float64(v[1]) * det.FrameDT,
+		})
+	}
+	return det
+}

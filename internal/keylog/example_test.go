@@ -1,0 +1,36 @@
+package keylog_test
+
+import (
+	"fmt"
+
+	"pmuleak/internal/keylog"
+	"pmuleak/internal/xrand"
+)
+
+// ExampleType shows the Salthouse typist model: frequent digraphs are
+// typed in quicker succession than rare ones.
+func ExampleType() {
+	cfg := keylog.DefaultTypistConfig()
+	cfg.JitterFrac = 0
+	cfg.PracticeGain = 0
+	events := keylog.Type("the", 0, cfg, xrand.New(1))
+	th := events[1].Press - events[0].Press // 'th': frequent digraph
+	he := events[2].Press - events[1].Press // 'he': frequent digraph
+	base := cfg.BaseInterKey
+	fmt.Println(th < base, he < base)
+	// Output:
+	// true true
+}
+
+// ExampleGroupWords segments keystrokes into words by inter-key gaps.
+func ExampleGroupWords() {
+	ks := []keylog.Keystroke{
+		{Start: 0.0}, {Start: 0.2}, {Start: 0.4}, // "c a n"
+		{Start: 0.75},              // space
+		{Start: 1.1}, {Start: 1.3}, // "m e"
+	}
+	groups := keylog.GroupWords(ks, 0)
+	fmt.Println(keylog.PredictedWordLengths(groups))
+	// Output:
+	// [3 2]
+}

@@ -1,0 +1,90 @@
+package keylog
+
+import (
+	"fmt"
+
+	"pmuleak/internal/kernel"
+	"pmuleak/internal/sim"
+	"pmuleak/internal/xrand"
+)
+
+// HandlingConfig models the processor activity a keystroke triggers on
+// an otherwise-idle machine: the keyboard interrupt, the input stack,
+// and the foreground application (the paper types into Chrome) redrawing
+// and processing the character.
+type HandlingConfig struct {
+	// BurstMin/BurstMax bound the activity burst per keystroke. The
+	// paper's detector assumes valid keystrokes exceed 30 ms.
+	BurstMin sim.Time
+	BurstMax sim.Time
+	// AppNoiseRate is the rate (per second) of unrelated short
+	// application bursts ("handling of the browser requests"), the
+	// paper's stated source of false positives.
+	AppNoiseRate float64
+	// AppNoiseMin/AppNoiseMax bound those unrelated bursts; mostly
+	// below the 30 ms filter, occasionally above it.
+	AppNoiseMin sim.Time
+	AppNoiseMax sim.Time
+}
+
+// DefaultHandlingConfig returns browser-typing burst parameters.
+func DefaultHandlingConfig() HandlingConfig {
+	return HandlingConfig{
+		BurstMin:     45 * sim.Millisecond,
+		BurstMax:     110 * sim.Millisecond,
+		AppNoiseRate: 2.0,
+		AppNoiseMin:  3 * sim.Millisecond,
+		AppNoiseMax:  33 * sim.Millisecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c HandlingConfig) Validate() error {
+	if c.BurstMin <= 0 || c.BurstMax < c.BurstMin {
+		return fmt.Errorf("keylog: bad burst bounds [%v, %v]", c.BurstMin, c.BurstMax)
+	}
+	if c.AppNoiseRate < 0 {
+		return fmt.Errorf("keylog: negative AppNoiseRate")
+	}
+	if c.AppNoiseRate > 0 && (c.AppNoiseMin <= 0 || c.AppNoiseMax < c.AppNoiseMin) {
+		return fmt.Errorf("keylog: bad app-noise bounds [%v, %v]", c.AppNoiseMin, c.AppNoiseMax)
+	}
+	return nil
+}
+
+// Inject schedules the keystroke-handling activity for the events on
+// the target kernel, plus the background application noise over
+// [now, horizon). Call before running the kernel.
+func Inject(k *kernel.Kernel, events []KeyEvent, horizon sim.Time,
+	cfg HandlingConfig, rng *xrand.Source) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	for _, ev := range events {
+		if ev.Press < k.Now() || ev.Press >= horizon {
+			continue
+		}
+		burst := sim.Time(rng.Uniform(float64(cfg.BurstMin), float64(cfg.BurstMax)))
+		k.InjectBurst(ev.Press, burst)
+	}
+	if cfg.AppNoiseRate > 0 {
+		t := k.Now()
+		for {
+			t += sim.FromSeconds(rng.Exp(1 / cfg.AppNoiseRate))
+			if t >= horizon {
+				break
+			}
+			burst := sim.Time(rng.Uniform(float64(cfg.AppNoiseMin), float64(cfg.AppNoiseMax)))
+			k.InjectBurst(t, burst)
+		}
+	}
+}
+
+// SessionHorizon returns a horizon comfortably past the last keystroke.
+func SessionHorizon(events []KeyEvent) sim.Time {
+	if len(events) == 0 {
+		return sim.Second
+	}
+	last := events[len(events)-1]
+	return last.Release + 500*sim.Millisecond
+}

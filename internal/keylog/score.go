@@ -1,0 +1,65 @@
+package keylog
+
+import (
+	"math"
+
+	"pmuleak/internal/sim"
+)
+
+// CharScore is the Table IV character-detection outcome.
+type CharScore struct {
+	// TPR is the fraction of true keystrokes that were detected.
+	TPR float64
+	// FPR is the fraction of detections that do not correspond to any
+	// true keystroke.
+	FPR float64
+	// Matched, Truth, and Detected are the underlying counts.
+	Matched, Truth, Detected int
+}
+
+// ScoreKeystrokes matches detections to ground-truth key events. A
+// detection claims the (single) unclaimed truth event whose press time
+// falls inside the detected interval, extended by tol on both sides;
+// when several qualify, the press nearest the detection's start wins.
+// Each truth event can be claimed once, so a merged detection covering
+// two keystrokes still counts as one hit.
+func ScoreKeystrokes(truth []KeyEvent, detected []Keystroke, tol sim.Time) CharScore {
+	score := CharScore{Truth: len(truth), Detected: len(detected)}
+	claimed := make([]bool, len(truth))
+	tolS := tol.Seconds()
+	ti := 0
+	for _, det := range detected {
+		lo, hi := det.Start-tolS, det.End+tolS
+		// Truth events are time-ordered; advance a cursor to the
+		// neighborhood of this detection.
+		for ti < len(truth) && truth[ti].Press.Seconds() < lo {
+			ti++
+		}
+		best := -1
+		bestDist := hi - lo
+		for j := ti; j < len(truth); j++ {
+			press := truth[j].Press.Seconds()
+			if press > hi {
+				break
+			}
+			if claimed[j] {
+				continue
+			}
+			dist := math.Abs(press - det.Start)
+			if dist <= bestDist {
+				best, bestDist = j, dist
+			}
+		}
+		if best >= 0 {
+			claimed[best] = true
+			score.Matched++
+		}
+	}
+	if score.Truth > 0 {
+		score.TPR = float64(score.Matched) / float64(score.Truth)
+	}
+	if score.Detected > 0 {
+		score.FPR = float64(score.Detected-score.Matched) / float64(score.Detected)
+	}
+	return score
+}

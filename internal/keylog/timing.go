@@ -1,0 +1,152 @@
+package keylog
+
+import (
+	"math"
+
+	"pmuleak/internal/dsp"
+)
+
+// This file implements the §V-B observation that inter-keystroke timing
+// itself narrows key identification: "keys that are far apart are
+// pressed in quicker succession than keys that are close together" and
+// "letter pairs that occur frequently in language are typed in quicker
+// succession" (Salthouse). An attacker who classifies each measured
+// inter-key interval as fast or slow learns which (prev, next) key pairs
+// are consistent with it, multiplying the candidate reduction across the
+// whole text — the quantitative form of the paper's "reduce the search
+// space for key identification".
+
+// DigraphClass buckets one inter-key interval relative to the typist's
+// running median.
+type DigraphClass int
+
+const (
+	// PairAverage is an uninformative interval.
+	PairAverage DigraphClass = iota
+	// PairFast marks an interval clearly below the local median:
+	// consistent with far-apart keys or frequent digraphs.
+	PairFast
+	// PairSlow marks an interval clearly above the local median:
+	// consistent with close-together, infrequent pairs (or a word
+	// boundary).
+	PairSlow
+)
+
+// String names the class.
+func (c DigraphClass) String() string {
+	switch c {
+	case PairFast:
+		return "fast"
+	case PairSlow:
+		return "slow"
+	}
+	return "average"
+}
+
+// TimingHint is the classification of one digraph interval.
+type TimingHint struct {
+	// Index is the position of the SECOND keystroke of the pair.
+	Index     int
+	IntervalS float64
+	Class     DigraphClass
+}
+
+// Classification thresholds relative to the local median interval.
+const (
+	fastBelow = 0.88
+	slowAbove = 1.15
+)
+
+// AnalyzeTiming classifies every inter-keystroke interval of a detected
+// keystroke sequence.
+func AnalyzeTiming(ks []Keystroke) []TimingHint {
+	if len(ks) < 2 {
+		return nil
+	}
+	gaps := make([]float64, len(ks)-1)
+	for i := 1; i < len(ks); i++ {
+		gaps[i-1] = ks[i].Start - ks[i-1].Start
+	}
+	const window = 30
+	local := func(i int) float64 {
+		lo, hi := i-window/2, i+window/2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(gaps) {
+			hi = len(gaps)
+		}
+		return dsp.Median(gaps[lo:hi])
+	}
+	hints := make([]TimingHint, len(gaps))
+	for i, g := range gaps {
+		h := TimingHint{Index: i + 1, IntervalS: g, Class: PairAverage}
+		m := local(i)
+		switch {
+		case g < fastBelow*m:
+			h.Class = PairFast
+		case g > slowAbove*m:
+			h.Class = PairSlow
+		}
+		hints[i] = h
+	}
+	return hints
+}
+
+// relativeInterval predicts a letter pair's inter-key time relative to
+// the base rate, from the Salthouse effects in the typist model.
+func relativeInterval(a, b rune, cfg TypistConfig) float64 {
+	rel := 1 - math.Min(cfg.DistanceGain*KeyDistance(a, b), 0.25)
+	if frequentDigraphs[string([]rune{a, b})] {
+		rel *= 1 - cfg.DigraphGain
+	}
+	return rel
+}
+
+// classFractions computes, from the typist model itself, what fraction
+// of all letter pairs falls into each timing class — the prior the
+// attacker needs to turn a hint into information.
+func classFractions(cfg TypistConfig) map[DigraphClass]float64 {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	var rels []float64
+	for _, a := range letters {
+		for _, b := range letters {
+			rels = append(rels, relativeInterval(a, b, cfg))
+		}
+	}
+	med := dsp.Median(rels)
+	counts := map[DigraphClass]int{}
+	for _, rel := range rels {
+		c := PairAverage
+		switch {
+		case rel < fastBelow*med:
+			c = PairFast
+		case rel > slowAbove*med:
+			c = PairSlow
+		}
+		counts[c]++
+	}
+	out := map[DigraphClass]float64{}
+	for c, n := range counts {
+		out[c] = float64(n) / float64(len(rels))
+	}
+	return out
+}
+
+// SearchSpaceReduction estimates how many bits of key-identity
+// information the timing hints carry: each hint of class c rules out
+// the pairs outside c, contributing -log2(fraction(c)) bits. Classes
+// absent from the model prior contribute nothing (they come from word
+// boundaries or noise rather than letter-pair timing).
+func SearchSpaceReduction(hints []TimingHint, cfg TypistConfig) (bits float64, informative int) {
+	fr := classFractions(cfg)
+	for _, h := range hints {
+		f, ok := fr[h.Class]
+		if !ok || f <= 0 || f >= 1 {
+			continue
+		}
+		bits += -math.Log2(f)
+		informative++
+	}
+	return bits, informative
+}

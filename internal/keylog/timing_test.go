@@ -1,0 +1,151 @@
+package keylog
+
+import (
+	"testing"
+
+	"pmuleak/internal/sim"
+	"pmuleak/internal/xrand"
+)
+
+// trueKeystrokes converts typed events into perfect detections.
+func trueKeystrokes(events []KeyEvent) []Keystroke {
+	ks := make([]Keystroke, len(events))
+	for i, ev := range events {
+		ks[i] = Keystroke{Start: ev.Press.Seconds(), End: ev.Release.Seconds()}
+	}
+	return ks
+}
+
+func TestDigraphClassString(t *testing.T) {
+	if PairFast.String() != "fast" || PairSlow.String() != "slow" ||
+		PairAverage.String() != "average" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestAnalyzeTimingEmpty(t *testing.T) {
+	if h := AnalyzeTiming(nil); h != nil {
+		t.Fatalf("hints from nothing: %v", h)
+	}
+	if h := AnalyzeTiming([]Keystroke{{Start: 1}}); h != nil {
+		t.Fatalf("hints from one keystroke: %v", h)
+	}
+}
+
+func TestAnalyzeTimingCounts(t *testing.T) {
+	ks := []Keystroke{{Start: 0}, {Start: 0.2}, {Start: 0.4}, {Start: 0.9}}
+	hints := AnalyzeTiming(ks)
+	if len(hints) != 3 {
+		t.Fatalf("hints = %d", len(hints))
+	}
+	for i, h := range hints {
+		if h.Index != i+1 {
+			t.Fatalf("hint %d has index %d", i, h.Index)
+		}
+	}
+	// The 0.5s interval against a 0.2s median is slow.
+	if hints[2].Class != PairSlow {
+		t.Fatalf("long interval classified %v", hints[2].Class)
+	}
+}
+
+func TestFrequentDigraphsClassifiedFast(t *testing.T) {
+	// Type a text alternating a frequent digraph with a rare one; the
+	// frequent pairs must be classified fast more often than the rare.
+	cfg := DefaultTypistConfig()
+	cfg.JitterFrac = 0.02
+	cfg.PracticeGain = 0
+	rng := xrand.New(1)
+	// "thq z" style: 'th' frequent, 'qz' rare and close... build a
+	// repeating block.
+	text := ""
+	for i := 0; i < 30; i++ {
+		text += "thsd" // 'th' frequent+near, 'sd' infrequent+near
+	}
+	events := Type(text, 0, cfg, rng)
+	hints := AnalyzeTiming(trueKeystrokes(events))
+	fastTH, fastSD := 0, 0
+	nTH, nSD := 0, 0
+	for _, h := range hints {
+		// Even indices within each block: h.Index is position of the
+		// second key; text[h.Index-1:h.Index+1] is the digraph.
+		if h.Index >= len(text) {
+			continue
+		}
+		dg := text[h.Index-1 : h.Index+1]
+		switch dg {
+		case "th":
+			nTH++
+			if h.Class == PairFast {
+				fastTH++
+			}
+		case "sd":
+			nSD++
+			if h.Class == PairFast {
+				fastSD++
+			}
+		}
+	}
+	if nTH == 0 || nSD == 0 {
+		t.Fatal("digraph accounting broken")
+	}
+	if float64(fastTH)/float64(nTH) <= float64(fastSD)/float64(nSD) {
+		t.Fatalf("'th' not faster than 'sd': %d/%d vs %d/%d", fastTH, nTH, fastSD, nSD)
+	}
+}
+
+func TestClassFractionsSumToOne(t *testing.T) {
+	fr := classFractions(DefaultTypistConfig())
+	var sum float64
+	for _, f := range fr {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction out of range: %v", fr)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	// Fast pairs must be a strict minority (that is what makes them
+	// informative).
+	if fr[PairFast] <= 0 || fr[PairFast] >= 0.5 {
+		t.Fatalf("fast fraction = %v", fr[PairFast])
+	}
+}
+
+func TestSearchSpaceReductionPositive(t *testing.T) {
+	cfg := DefaultTypistConfig()
+	rng := xrand.New(2)
+	text := RandomWords(30, xrand.New(3))
+	events := Type(text, 0, cfg, rng)
+	hints := AnalyzeTiming(trueKeystrokes(events))
+	bits, informative := SearchSpaceReduction(hints, cfg)
+	if informative == 0 {
+		t.Fatal("no informative hints in 30 words")
+	}
+	if bits <= 0 {
+		t.Fatalf("bits = %v", bits)
+	}
+	// Sanity: not more than a few bits per keystroke.
+	if perKey := bits / float64(len(events)); perKey > 3 {
+		t.Fatalf("implausible %v bits per key", perKey)
+	}
+}
+
+func TestSearchSpaceReductionEmpty(t *testing.T) {
+	bits, n := SearchSpaceReduction(nil, DefaultTypistConfig())
+	if bits != 0 || n != 0 {
+		t.Fatalf("empty reduction = %v, %d", bits, n)
+	}
+}
+
+func TestRelativeIntervalEffects(t *testing.T) {
+	cfg := DefaultTypistConfig()
+	if relativeInterval('t', 'h', cfg) >= relativeInterval('s', 'd', cfg) {
+		t.Fatal("frequent digraph not faster in the model")
+	}
+	if relativeInterval('q', 'p', cfg) >= relativeInterval('f', 'g', cfg) {
+		t.Fatal("far pair not faster in the model")
+	}
+	_ = sim.Millisecond
+}

@@ -1,0 +1,135 @@
+package keylog
+
+import (
+	"pmuleak/internal/align"
+	"pmuleak/internal/dsp"
+)
+
+// GroupWords segments detected keystrokes into words, following the
+// paper's observation that "the number of words and their length can be
+// inferred by grouping relatively close spikes together" and
+// Berger-style dictionary reconstruction.
+//
+// The segmentation models the generative process directly: typing a
+// space produces TWO consecutive elevated inter-key gaps (the pause
+// going into the space bar and the pause starting the next word), so a
+// keystroke whose gaps on both sides exceed sideFactor times the local
+// median gap is classified as a space press and removed; the runs
+// between spaces are the words. A single very large gap (twice the
+// local median) also splits, catching spaces whose keystroke the
+// detector merged away. The local median is computed over a rolling
+// window because practiced typists speed up during a session (Salthouse
+// finding iii), which would defeat a global threshold.
+//
+// sideFactor <= 1 selects the default of 1.10.
+func GroupWords(ks []Keystroke, sideFactor float64) [][]Keystroke {
+	if len(ks) == 0 {
+		return nil
+	}
+	if sideFactor <= 1 {
+		sideFactor = 1.10
+	}
+	const hardFactor = 2.0
+	gaps := make([]float64, len(ks)-1)
+	for i := 1; i < len(ks); i++ {
+		gaps[i-1] = ks[i].Start - ks[i-1].Start
+	}
+	const window = 30
+	local := func(i int) float64 {
+		lo, hi := i-window/2, i+window/2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(gaps) {
+			hi = len(gaps)
+		}
+		return dsp.Median(gaps[lo:hi])
+	}
+	isSpace := make([]bool, len(ks))
+	boundaryAfter := make([]bool, len(ks))
+	for i := 1; i < len(ks)-1; i++ {
+		m := local(i)
+		// Two forms of evidence: both side gaps clearly elevated, or a
+		// large combined pause with both sides at least mildly above
+		// the local median (one side's jitter must not hide a space).
+		both := gaps[i-1] > sideFactor*m && gaps[i] > sideFactor*m
+		combined := gaps[i-1]+gaps[i] > 2.6*m &&
+			gaps[i-1] > 1.05*m && gaps[i] > 1.05*m
+		if both || combined {
+			isSpace[i] = true
+		}
+	}
+	for i, g := range gaps {
+		if g > hardFactor*local(i) {
+			boundaryAfter[i] = true
+		}
+	}
+	var groups [][]Keystroke
+	var cur []Keystroke
+	flush := func() {
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+		}
+	}
+	for i, k := range ks {
+		if isSpace[i] {
+			flush()
+			continue
+		}
+		cur = append(cur, k)
+		if i < len(gaps) && boundaryAfter[i] {
+			flush()
+		}
+	}
+	flush()
+	return groups
+}
+
+// PredictedWordLengths converts keystroke groups into word lengths.
+func PredictedWordLengths(groups [][]Keystroke) []int {
+	out := make([]int, len(groups))
+	for i, g := range groups {
+		out[i] = len(g)
+	}
+	return out
+}
+
+// WordScore is the Table IV word-detection outcome.
+type WordScore struct {
+	// Precision is the fraction of retrieved words whose predicted
+	// length exactly matches the aligned true word's length.
+	Precision float64
+	// Recall is the fraction of true words that were retrieved at all.
+	Recall float64
+	// Retrieved and Truth are the respective word counts.
+	Retrieved, Truth int
+}
+
+// ScoreWords aligns the predicted word-length sequence against the true
+// one and computes the paper's precision/recall definitions.
+func ScoreWords(trueLengths, predicted []int) WordScore {
+	clamp := func(v int) byte {
+		if v > 255 {
+			return 255
+		}
+		return byte(v)
+	}
+	tx := make([]byte, len(trueLengths))
+	for i, v := range trueLengths {
+		tx[i] = clamp(v)
+	}
+	rx := make([]byte, len(predicted))
+	for i, v := range predicted {
+		rx[i] = clamp(v)
+	}
+	r := align.Sequences(tx, rx)
+	score := WordScore{Retrieved: len(predicted), Truth: len(trueLengths)}
+	if len(predicted) > 0 {
+		score.Precision = float64(r.Matches) / float64(len(predicted))
+	}
+	if len(trueLengths) > 0 {
+		score.Recall = float64(r.Matches+r.Substitutions) / float64(len(trueLengths))
+	}
+	return score
+}

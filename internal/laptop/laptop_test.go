@@ -1,0 +1,249 @@
+package laptop
+
+import (
+	"testing"
+
+	"pmuleak/internal/dsp"
+	"pmuleak/internal/em"
+	"pmuleak/internal/kernel"
+	"pmuleak/internal/sim"
+)
+
+func TestProfilesMatchTableOne(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("got %d profiles, want 6", len(ps))
+	}
+	wantOS := map[string]kernel.OSKind{
+		"Dell Precision 7290":   kernel.Windows,
+		"MacBookPro-2015":       kernel.MacOS,
+		"Dell Inspiron 15-3537": kernel.Linux,
+		"MacBookPro-2018":       kernel.MacOS,
+		"Lenovo Thinkpad":       kernel.Linux,
+		"Sony Ultrabook":        kernel.Windows,
+	}
+	wantArch := map[string]string{
+		"Dell Precision 7290":   "Kaby Lake",
+		"MacBookPro-2015":       "Broadwell",
+		"Dell Inspiron 15-3537": "Haswell",
+		"MacBookPro-2018":       "Coffee Lake",
+		"Lenovo Thinkpad":       "SkyLake",
+		"Sony Ultrabook":        "Ivy Bridge",
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Model] {
+			t.Errorf("duplicate model %q", p.Model)
+		}
+		seen[p.Model] = true
+		if p.OS() != wantOS[p.Model] {
+			t.Errorf("%s OS = %v, want %v", p.Model, p.OS(), wantOS[p.Model])
+		}
+		if p.Arch != wantArch[p.Model] {
+			t.Errorf("%s arch = %q, want %q", p.Model, p.Arch, wantArch[p.Model])
+		}
+	}
+}
+
+func TestProfileParametersSane(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.VRM.SwitchingFreqHz < 250e3 || p.VRM.SwitchingFreqHz > 1.2e6 {
+			t.Errorf("%s: VRM frequency %v outside the 250kHz-1.2MHz range",
+				p.Model, p.VRM.SwitchingFreqHz)
+		}
+		if err := p.VRM.Validate(); err != nil {
+			t.Errorf("%s: VRM config: %v", p.Model, err)
+		}
+		if err := p.Power.Validate(); err != nil {
+			t.Errorf("%s: power config: %v", p.Model, err)
+		}
+		if p.EmitterGain <= 0 {
+			t.Errorf("%s: EmitterGain %v", p.Model, p.EmitterGain)
+		}
+		if p.DefaultSleepPeriod <= 0 {
+			t.Errorf("%s: DefaultSleepPeriod %v", p.Model, p.DefaultSleepPeriod)
+		}
+		// Windows machines can't sleep shorter than the timer grain.
+		if p.OS() == kernel.Windows && p.DefaultSleepPeriod < p.Kernel.TimerGranularity {
+			t.Errorf("%s: sleep period below Windows timer granularity", p.Model)
+		}
+	}
+}
+
+func TestByModel(t *testing.T) {
+	p, ok := ByModel("Lenovo Thinkpad")
+	if !ok || p.Arch != "SkyLake" {
+		t.Fatalf("ByModel failed: %v %v", p, ok)
+	}
+	if _, ok := ByModel("Amiga 500"); ok {
+		t.Fatal("found a profile that should not exist")
+	}
+}
+
+func TestReferenceIsInspiron(t *testing.T) {
+	if Reference().Model != "Dell Inspiron 15-3537" {
+		t.Fatalf("Reference = %v", Reference().Model)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	s := Reference().String()
+	if s != "Dell Inspiron 15-3537 (Linux, Haswell)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSystemEmanationsEndToEnd(t *testing.T) {
+	// A transmitter-style workload must put a spike at the VRM
+	// fundamental whose band energy alternates with the workload.
+	sys := NewSystem(Reference(), 42)
+	defer sys.Close()
+	sys.Kernel().Spawn("tx", func(p *kernel.Proc) {
+		for i := 0; i < 20; i++ {
+			p.Busy(400 * sim.Microsecond)
+			p.Sleep(400 * sim.Microsecond)
+		}
+	})
+	horizon := 16 * sim.Millisecond
+	sys.Run(horizon)
+	plan := sys.DefaultPlan()
+	iq := sys.Emanations(horizon, plan)
+	if len(iq) != int(horizon.Seconds()*plan.SampleRate) {
+		t.Fatalf("sample count = %d", len(iq))
+	}
+
+	s := dsp.STFT(iq, 1024, 256, dsp.Hann(1024), plan.SampleRate)
+	f0 := sys.Profile.VRM.SwitchingFreqHz
+	col := s.Column(s.Bin(f0 - plan.CenterFreqHz))
+	hi := dsp.Quantile(col, 0.9)
+	lo := dsp.Quantile(col, 0.1)
+	if hi < 5*lo {
+		t.Fatalf("band energy not modulated: hi %v lo %v", hi, lo)
+	}
+}
+
+func TestSystemEmanationsBeforeHorizonPanics(t *testing.T) {
+	sys := NewSystem(Reference(), 1)
+	defer sys.Close()
+	sys.Run(sim.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when horizon exceeds simulated time")
+		}
+	}()
+	sys.Emanations(10*sim.Millisecond, sys.DefaultPlan())
+}
+
+func TestSystemDeterministicAcrossRuns(t *testing.T) {
+	run := func() []complex128 {
+		sys := NewSystem(Reference(), 77)
+		defer sys.Close()
+		sys.Kernel().Spawn("tx", func(p *kernel.Proc) {
+			for i := 0; i < 5; i++ {
+				p.Busy(100 * sim.Microsecond)
+				p.Sleep(100 * sim.Microsecond)
+			}
+		})
+		sys.Run(2 * sim.Millisecond)
+		return sys.Emanations(2*sim.Millisecond, sys.DefaultPlan())
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at sample %d", i)
+		}
+	}
+}
+
+func TestDefaultPlanCoversFundamentalAndHarmonic(t *testing.T) {
+	for _, p := range Profiles() {
+		sys := NewSystem(p, 1)
+		plan := sys.DefaultPlan()
+		cfg := em.Config{
+			SwitchingFreqHz:       p.VRM.SwitchingFreqHz,
+			CenterFreqHz:          plan.CenterFreqHz,
+			SampleRate:            plan.SampleRate,
+			Harmonics:             plan.Harmonics,
+			EmitterGain:           1,
+			EnvelopeSmoothPeriods: 1,
+		}
+		if offs := cfg.HarmonicOffsets(); len(offs) != 2 {
+			t.Errorf("%s: plan covers %d harmonics, want 2", p.Model, len(offs))
+		}
+		sys.Close()
+	}
+}
+
+func TestEmanationsPulseTrainEndToEnd(t *testing.T) {
+	sys := NewSystem(Reference(), 99)
+	defer sys.Close()
+	sys.Kernel().Spawn("tx", func(p *kernel.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Busy(400 * sim.Microsecond)
+			p.Sleep(400 * sim.Microsecond)
+		}
+	})
+	horizon := 8 * sim.Millisecond
+	sys.Run(horizon)
+	plan := sys.DefaultPlan()
+	iq := sys.EmanationsPulseTrain(horizon, plan)
+	if len(iq) != int(horizon.Seconds()*plan.SampleRate) {
+		t.Fatalf("sample count = %d", len(iq))
+	}
+	// The pulse-train render must also show the modulated fundamental.
+	s := dsp.STFT(iq, 1024, 256, dsp.Hann(1024), plan.SampleRate)
+	col := s.Column(s.Bin(sys.Profile.VRM.SwitchingFreqHz - plan.CenterFreqHz))
+	hi := dsp.Quantile(col, 0.9)
+	lo := dsp.Quantile(col, 0.1)
+	if hi < 3*lo {
+		t.Fatalf("pulse-train band not modulated: hi %v lo %v", hi, lo)
+	}
+}
+
+func TestPulsesRequiresSimulationProgress(t *testing.T) {
+	sys := NewSystem(Reference(), 1)
+	defer sys.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when horizon exceeds simulated time")
+		}
+	}()
+	sys.Pulses(sim.Second)
+}
+
+func TestDVFSWindowProfilePath(t *testing.T) {
+	prof := Reference()
+	prof.DVFSWindow = 5 * sim.Millisecond
+	sys := NewSystem(prof, 4)
+	defer sys.Close()
+	sys.Kernel().Spawn("load", func(p *kernel.Proc) {
+		for i := 0; i < 20; i++ {
+			p.Busy(500 * sim.Microsecond)
+			p.Sleep(500 * sim.Microsecond)
+		}
+	})
+	horizon := 25 * sim.Millisecond
+	sys.Run(horizon)
+	iq := sys.Emanations(horizon, sys.DefaultPlan())
+	if em.RMS(iq) <= 0 {
+		t.Fatal("demand-governor path produced no emission")
+	}
+}
+
+func TestMultiCoreProfilePath(t *testing.T) {
+	prof := Reference()
+	prof.Kernel.Cores = 2
+	sys := NewSystem(prof, 5)
+	defer sys.Close()
+	sys.Kernel().SpawnOn("a", 0, func(p *kernel.Proc) { p.Busy(2 * sim.Millisecond) })
+	sys.Kernel().SpawnOn("b", 1, func(p *kernel.Proc) { p.Busy(2 * sim.Millisecond) })
+	horizon := 4 * sim.Millisecond
+	sys.Run(horizon)
+	iq := sys.Emanations(horizon, sys.DefaultPlan())
+	if em.RMS(iq) <= 0 {
+		t.Fatal("multi-core path produced no emission")
+	}
+}

@@ -1,0 +1,136 @@
+package power
+
+import (
+	"fmt"
+
+	"pmuleak/internal/kernel"
+	"pmuleak/internal/sim"
+)
+
+// This file adds the demand-based DVFS governor of §II: instead of the
+// binary active-P0 / idle-deep mapping in Trace, the governor watches
+// windowed utilization and picks intermediate P-states, the way Intel's
+// Demand Based Switching (and, faster, Skylake's Speed Shift) does.
+//
+// Side-channel consequence, verified by the tests: with demand-based
+// DVFS the emission amplitude during activity becomes a staircase that
+// tracks utilization, so the channel leaks not just WHETHER the
+// processor is busy but roughly HOW busy it is.
+
+// UtilizationWindows returns the busy fraction of each consecutive
+// window of the given width across [0, horizon). The last window may be
+// partial and is scaled accordingly.
+func UtilizationWindows(activity []kernel.Span, horizon, window sim.Time) []float64 {
+	if window <= 0 {
+		panic("power: window must be positive")
+	}
+	n := int((horizon + window - 1) / window)
+	busy := make([]sim.Time, n)
+	for _, s := range activity {
+		start, end := s.Start, s.End
+		if end > horizon {
+			end = horizon
+		}
+		for t := start; t < end; {
+			w := int(t / window)
+			wEnd := sim.Time(w+1) * window
+			if wEnd > end {
+				wEnd = end
+			}
+			busy[w] += wEnd - t
+			t = wEnd
+		}
+	}
+	out := make([]float64, n)
+	for w := range out {
+		width := window
+		if rem := horizon - sim.Time(w)*window; rem < width {
+			width = rem
+		}
+		if width > 0 {
+			out[w] = float64(busy[w]) / float64(width)
+		}
+	}
+	return out
+}
+
+// PStateForUtilization maps a utilization level onto the P-state ladder:
+// full load runs P0, light load the slowest state, linearly in between.
+func (c Config) PStateForUtilization(util float64) PState {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	idx := int((1 - util) * float64(len(c.PStates)-1))
+	if idx >= len(c.PStates) {
+		idx = len(c.PStates) - 1
+	}
+	return c.PStates[idx]
+}
+
+// CurrentForPState returns the load current drawn while executing at the
+// given P-state, scaling with f·V² relative to P0.
+func (c Config) CurrentForPState(p PState) float64 {
+	p0 := c.fastestP()
+	return c.ActiveCurrent * (p.FreqMHz / p0.FreqMHz) *
+		(p.Voltage * p.Voltage) / (p0.Voltage * p0.Voltage)
+}
+
+// DemandTrace converts an activity trace into a load trace under a
+// demand-based DVFS governor with the given utilization window: active
+// spans in window w run at the P-state selected by window w-1's
+// utilization (the governor reacts one window late), and idle gaps
+// behave exactly as in Trace.
+func DemandTrace(activity []kernel.Span, horizon, window sim.Time, cfg Config) []Span {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if window <= 0 {
+		panic("power: window must be positive")
+	}
+	if !cfg.PStatesEnabled {
+		// Without P-states there is nothing demand-based to do.
+		return Trace(activity, horizon, cfg)
+	}
+	utils := UtilizationWindows(activity, horizon, window)
+	stateAt := func(t sim.Time) PState {
+		w := int(t/window) - 1
+		if w < 0 {
+			return cfg.fastestP() // cold start: assume full speed
+		}
+		if w >= len(utils) {
+			w = len(utils) - 1
+		}
+		return cfg.PStateForUtilization(utils[w])
+	}
+
+	// Reuse Trace for the idle structure, then re-level the active
+	// spans according to the governor's chosen P-state, splitting them
+	// at window boundaries so each piece gets its window's state.
+	base := Trace(activity, horizon, cfg)
+	var out []Span
+	for _, s := range base {
+		if s.Label != "C0-P0" {
+			out = append(out, s)
+			continue
+		}
+		for t := s.Start; t < s.End; {
+			wEnd := (t/window + 1) * window
+			if wEnd > s.End {
+				wEnd = s.End
+			}
+			p := stateAt(t)
+			out = append(out, Span{
+				Start:   t,
+				End:     wEnd,
+				Current: cfg.CurrentForPState(p),
+				Voltage: p.Voltage,
+				Label:   fmt.Sprintf("C0-P%d", p.Index),
+			})
+			t = wEnd
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"pmuleak/internal/kernel"
+	"pmuleak/internal/sim"
+)
+
+func TestUtilizationWindows(t *testing.T) {
+	// 10ms horizon, 2ms windows; busy [0,3ms) and [8,9ms).
+	act := activity([2]sim.Time{0, 3 * sim.Millisecond},
+		[2]sim.Time{8 * sim.Millisecond, 9 * sim.Millisecond})
+	u := UtilizationWindows(act, 10*sim.Millisecond, 2*sim.Millisecond)
+	want := []float64{1, 0.5, 0, 0, 0.5}
+	if len(u) != len(want) {
+		t.Fatalf("windows = %v", u)
+	}
+	for i := range want {
+		if math.Abs(u[i]-want[i]) > 1e-9 {
+			t.Fatalf("windows = %v, want %v", u, want)
+		}
+	}
+}
+
+func TestUtilizationWindowsPartialTail(t *testing.T) {
+	act := activity([2]sim.Time{9 * sim.Millisecond, 10 * sim.Millisecond})
+	u := UtilizationWindows(act, 10*sim.Millisecond, 4*sim.Millisecond)
+	// Third window spans [8,10): half busy.
+	if len(u) != 3 || math.Abs(u[2]-0.5) > 1e-9 {
+		t.Fatalf("windows = %v", u)
+	}
+}
+
+func TestUtilizationWindowsBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	UtilizationWindows(nil, sim.Second, 0)
+}
+
+func TestPStateForUtilization(t *testing.T) {
+	cfg := DefaultConfig()
+	if p := cfg.PStateForUtilization(1); p.Index != 0 {
+		t.Fatalf("full load -> P%d", p.Index)
+	}
+	if p := cfg.PStateForUtilization(0); p.Index != cfg.slowestP().Index {
+		t.Fatalf("no load -> P%d", p.Index)
+	}
+	mid := cfg.PStateForUtilization(0.5)
+	if mid.Index == 0 || mid.Index == cfg.slowestP().Index {
+		t.Fatalf("half load -> P%d, want intermediate", mid.Index)
+	}
+	// Clamping.
+	if p := cfg.PStateForUtilization(2); p.Index != 0 {
+		t.Fatalf("clamped high -> P%d", p.Index)
+	}
+	if p := cfg.PStateForUtilization(-1); p.Index != cfg.slowestP().Index {
+		t.Fatalf("clamped low -> P%d", p.Index)
+	}
+}
+
+func TestCurrentForPStateMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	prev := math.Inf(1)
+	for _, p := range cfg.PStates {
+		c := cfg.CurrentForPState(p)
+		if c >= prev {
+			t.Fatalf("current not decreasing along the ladder at P%d", p.Index)
+		}
+		prev = c
+	}
+	if got := cfg.CurrentForPState(cfg.fastestP()); got != cfg.ActiveCurrent {
+		t.Fatalf("P0 current = %v", got)
+	}
+}
+
+// dutyActivity builds an activity trace with the given duty cycle at a
+// 1ms period.
+func dutyActivity(duty float64, horizon sim.Time) []kernel.Span {
+	var out []kernel.Span
+	period := sim.Millisecond
+	busy := sim.Time(duty * float64(period))
+	for t := sim.Time(0); t < horizon; t += period {
+		if busy > 0 {
+			out = append(out, kernel.Span{Start: t, End: t + busy})
+		}
+	}
+	return out
+}
+
+func TestDemandTraceTracksUtilization(t *testing.T) {
+	cfg := DefaultConfig()
+	horizon := 100 * sim.Millisecond
+	window := 10 * sim.Millisecond
+
+	meanActiveCurrent := func(duty float64) float64 {
+		tr := DemandTrace(dutyActivity(duty, horizon), horizon, window, cfg)
+		var sum float64
+		var dur sim.Time
+		for _, s := range tr {
+			if s.Label[:2] == "C0" && s.Current > cfg.ActiveCurrent*0.2 {
+				sum += s.Current * float64(s.Duration())
+				dur += s.Duration()
+			}
+		}
+		if dur == 0 {
+			return 0
+		}
+		return sum / float64(dur)
+	}
+
+	low := meanActiveCurrent(0.25)
+	high := meanActiveCurrent(0.95)
+	if low <= 0 || high <= 0 {
+		t.Fatal("no active spans found")
+	}
+	// The staircase: heavier duty runs at faster P-states and draws
+	// visibly more current per active instant — the utilization leak.
+	if high < 1.3*low {
+		t.Fatalf("utilization not visible in active current: low-duty %v, high-duty %v",
+			low, high)
+	}
+}
+
+func TestDemandTraceColdStartAndLag(t *testing.T) {
+	cfg := DefaultConfig()
+	window := 10 * sim.Millisecond
+	// Idle first window, fully busy second: the busy window still runs
+	// at a slow P-state because the governor saw zero utilization in
+	// the window before (one-window lag), except the cold-start first
+	// window which assumes full speed.
+	act := activity([2]sim.Time{window, 2 * window})
+	tr := DemandTrace(act, 2*window, window, cfg)
+	var busySpan *Span
+	for i := range tr {
+		if tr[i].Start == window && tr[i].Current > 0 {
+			busySpan = &tr[i]
+		}
+	}
+	if busySpan == nil {
+		t.Fatal("busy span missing")
+	}
+	if busySpan.Current >= cfg.ActiveCurrent {
+		t.Fatalf("governor did not lag: busy-after-idle current %v", busySpan.Current)
+	}
+}
+
+func TestDemandTraceWithoutPStatesFallsBack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PStatesEnabled = false
+	act := activity([2]sim.Time{0, sim.Millisecond})
+	a := DemandTrace(act, 2*sim.Millisecond, sim.Millisecond, cfg)
+	b := Trace(act, 2*sim.Millisecond, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("fallback differs: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fallback span %d differs", i)
+		}
+	}
+}
+
+func TestDemandTraceContiguous(t *testing.T) {
+	cfg := DefaultConfig()
+	horizon := 50 * sim.Millisecond
+	tr := DemandTrace(dutyActivity(0.5, horizon), horizon, 10*sim.Millisecond, cfg)
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Start != tr[i-1].End {
+			t.Fatalf("trace not contiguous at span %d", i)
+		}
+	}
+	if tr[len(tr)-1].End != horizon {
+		t.Fatalf("trace ends at %v", tr[len(tr)-1].End)
+	}
+}

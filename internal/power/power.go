@@ -1,0 +1,351 @@
+// Package power models the processor's power management unit: the
+// P-state (DVFS) and C-state (idle) machinery that §II of the paper
+// describes, including the BIOS knobs used in the §III ablation.
+//
+// Its job is to translate the kernel's CPU-activity trace into a
+// load-current/voltage trace for the voltage regulator. The essential
+// property, which is the root of the side channel, is that with power
+// management enabled an idle processor draws almost no current from the
+// VRM, while an active one draws a lot — and that the contrast collapses
+// only when both P-states and C-states are disabled.
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"pmuleak/internal/kernel"
+	"pmuleak/internal/sim"
+)
+
+// PState is one DVFS operating point. P0 is the highest-performance
+// state; higher indices trade frequency and voltage for efficiency.
+type PState struct {
+	Index   int
+	FreqMHz float64
+	Voltage float64
+}
+
+// CState is one idle state. C0 is "executing"; deeper states gate clocks
+// and, from C4 up, reduce voltage, at the price of longer exit latency.
+type CState struct {
+	Index       int
+	Name        string
+	ExitLatency sim.Time
+	// CurrentFrac is the load current in this state relative to full
+	// active current. Clock gating alone (C1-C3) still leaks; power
+	// gating (C6) draws almost nothing.
+	CurrentFrac float64
+}
+
+// DefaultPStates returns a representative Intel-style P-state table.
+func DefaultPStates() []PState {
+	return []PState{
+		{Index: 0, FreqMHz: 3400, Voltage: 1.20},
+		{Index: 1, FreqMHz: 3000, Voltage: 1.12},
+		{Index: 2, FreqMHz: 2600, Voltage: 1.05},
+		{Index: 3, FreqMHz: 2200, Voltage: 0.98},
+		{Index: 4, FreqMHz: 1800, Voltage: 0.92},
+		{Index: 5, FreqMHz: 1400, Voltage: 0.86},
+		{Index: 6, FreqMHz: 1000, Voltage: 0.80},
+		{Index: 7, FreqMHz: 800, Voltage: 0.75},
+	}
+}
+
+// DefaultCStates returns a representative C-state table.
+func DefaultCStates() []CState {
+	return []CState{
+		{Index: 0, Name: "C0", ExitLatency: 0, CurrentFrac: 1.0},
+		{Index: 1, Name: "C1", ExitLatency: 2 * sim.Microsecond, CurrentFrac: 0.30},
+		{Index: 3, Name: "C3", ExitLatency: 10 * sim.Microsecond, CurrentFrac: 0.12},
+		{Index: 6, Name: "C6", ExitLatency: 50 * sim.Microsecond, CurrentFrac: 0.03},
+	}
+}
+
+// Config describes one PMU instance, including the BIOS enable switches
+// the §III ablation flips.
+type Config struct {
+	PStates []PState
+	CStates []CState
+
+	PStatesEnabled bool
+	CStatesEnabled bool
+
+	// ActiveCurrent is the current (A) drawn from the VRM at full
+	// activity in P0/C0.
+	ActiveCurrent float64
+
+	// IdleGovernorDelay is how long the idle governor waits after the
+	// CPU goes idle before committing to a deep C-state (the "menu"
+	// governor's hesitation). During this window the CPU sits in a
+	// shallow idle state.
+	IdleGovernorDelay sim.Time
+
+	// DVFSReaction is how long the DVFS governor takes to ramp the
+	// P-state after a load change when C-states are unavailable.
+	DVFSReaction sim.Time
+}
+
+// DefaultConfig returns a PMU with both mechanisms enabled and a 20 A
+// full-load current, typical for a mobile quad-core package.
+func DefaultConfig() Config {
+	return Config{
+		PStates:           DefaultPStates(),
+		CStates:           DefaultCStates(),
+		PStatesEnabled:    true,
+		CStatesEnabled:    true,
+		ActiveCurrent:     20,
+		IdleGovernorDelay: 30 * sim.Microsecond,
+		DVFSReaction:      80 * sim.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ActiveCurrent <= 0 {
+		return fmt.Errorf("power: ActiveCurrent must be positive, got %v", c.ActiveCurrent)
+	}
+	if len(c.PStates) == 0 {
+		return fmt.Errorf("power: empty P-state table")
+	}
+	if len(c.CStates) == 0 {
+		return fmt.Errorf("power: empty C-state table")
+	}
+	if c.IdleGovernorDelay < 0 || c.DVFSReaction < 0 {
+		return fmt.Errorf("power: negative governor delay")
+	}
+	return nil
+}
+
+func (c Config) deepest() CState { return c.CStates[len(c.CStates)-1] }
+func (c Config) shallowIdle() CState {
+	if len(c.CStates) > 1 {
+		return c.CStates[1]
+	}
+	return c.CStates[0]
+}
+func (c Config) slowestP() PState { return c.PStates[len(c.PStates)-1] }
+func (c Config) fastestP() PState { return c.PStates[0] }
+
+// Span is an interval of constant VRM load.
+type Span struct {
+	Start, End sim.Time
+	Current    float64 // amps drawn from the VRM
+	Voltage    float64 // VID requested from the VRM
+	Label      string  // state name, for inspection and plots
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Trace converts a merged, sorted CPU-activity trace (from
+// kernel.Activity) into a load trace over [0, horizon).
+//
+// The mapping implements the paper's observations:
+//
+//   - both mechanisms enabled: active -> P0/C0 at full current; idle ->
+//     shallow idle during the governor delay, then the deepest C-state
+//     at a few percent of full current;
+//   - only C-states enabled (P disabled): identical idle behaviour —
+//     the modulation survives;
+//   - only P-states enabled (C disabled): the OS idle loop keeps the
+//     core in C0, but the DVFS governor drops to the slowest P-state, so
+//     idle current falls to a moderate level — the modulation survives;
+//   - both disabled: the idle loop runs at nominal voltage/frequency and
+//     the load never drops — the modulation (and the side channel)
+//     disappears.
+func Trace(activity []kernel.Span, horizon sim.Time, cfg Config) []Span {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	var out []Span
+	emit := func(start, end sim.Time, current, voltage float64, label string) {
+		if end <= start {
+			return
+		}
+		out = append(out, Span{start, end, current, voltage, label})
+	}
+	activeV := cfg.fastestP().Voltage
+
+	emitIdle := func(start, end sim.Time) {
+		switch {
+		case cfg.CStatesEnabled:
+			// Shallow idle while the governor decides, then deep idle.
+			shallow := cfg.shallowIdle()
+			deep := cfg.deepest()
+			idleV := activeV
+			if cfg.PStatesEnabled {
+				idleV = cfg.slowestP().Voltage
+			}
+			split := start + cfg.IdleGovernorDelay
+			if split > end {
+				split = end
+			}
+			emit(start, split, cfg.ActiveCurrent*shallow.CurrentFrac, activeV, shallow.Name)
+			emit(split, end, cfg.ActiveCurrent*deep.CurrentFrac, idleV, deep.Name)
+		case cfg.PStatesEnabled:
+			// Idle loop spins, but DVFS ramps down to the slowest
+			// P-state after its reaction time. Current scales with
+			// f·V² relative to nominal.
+			slow := cfg.slowestP()
+			fast := cfg.fastestP()
+			frac := (slow.FreqMHz / fast.FreqMHz) *
+				(slow.Voltage * slow.Voltage) / (fast.Voltage * fast.Voltage)
+			split := start + cfg.DVFSReaction
+			if split > end {
+				split = end
+			}
+			emit(start, split, cfg.ActiveCurrent, fast.Voltage, "C0-idleloop")
+			emit(split, end, cfg.ActiveCurrent*frac, slow.Voltage,
+				fmt.Sprintf("C0-P%d", slow.Index))
+		default:
+			// Everything disabled: the OS idle loop spins at nominal
+			// voltage and frequency, exercising the same integer
+			// pipeline as ordinary work, so the load contrast against
+			// real activity is only a few percent.
+			emit(start, end, cfg.ActiveCurrent*0.97, activeV, "C0-nominal")
+		}
+	}
+
+	cursor := sim.Time(0)
+	for _, a := range activity {
+		if a.Start >= horizon {
+			break
+		}
+		end := a.End
+		if end > horizon {
+			end = horizon
+		}
+		if a.Start > cursor {
+			emitIdle(cursor, a.Start)
+		}
+		emit(a.Start, end, cfg.ActiveCurrent, activeV, "C0-P0")
+		cursor = end
+	}
+	if cursor < horizon {
+		emitIdle(cursor, horizon)
+	}
+	return out
+}
+
+// CurrentAt returns the load current at time t in a trace produced by
+// Trace. Linear scan; intended for tests and spot checks, not hot loops.
+func CurrentAt(trace []Span, t sim.Time) float64 {
+	for _, s := range trace {
+		if t >= s.Start && t < s.End {
+			return s.Current
+		}
+	}
+	return 0
+}
+
+// MeanCurrent returns the time-weighted average current of the trace.
+func MeanCurrent(trace []Span) float64 {
+	var total sim.Time
+	var sum float64
+	for _, s := range trace {
+		d := s.Duration()
+		total += d
+		sum += s.Current * float64(d)
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+// ModulationDepth measures how strongly the trace distinguishes active
+// from idle: (maxCurrent - minCurrent) / maxCurrent. Zero means the side
+// channel carries no information; near one means on-off keying.
+func ModulationDepth(trace []Span) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	lo, hi := trace[0].Current, trace[0].Current
+	for _, s := range trace[1:] {
+		if s.Current < lo {
+			lo = s.Current
+		}
+		if s.Current > hi {
+			hi = s.Current
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return (hi - lo) / hi
+}
+
+// TracePerCore builds the package-level load trace for a multi-core
+// processor. Each core's activity runs through the single-core state
+// logic at its 1/N share of the active current (per-core C-states), and
+// the shares sum at the package rail. The VID is the maximum across
+// cores — the shared rail must satisfy the hungriest core.
+//
+// The security-relevant consequence, verified by the package tests: the
+// VRM integrates ALL cores, so pinning a victim workload away from an
+// attacker's transmitter does not isolate the side channel.
+func TracePerCore(perCore [][]kernel.Span, horizon sim.Time, cfg Config) []Span {
+	if len(perCore) == 0 {
+		return Trace(nil, horizon, cfg)
+	}
+	coreCfg := cfg
+	coreCfg.ActiveCurrent = cfg.ActiveCurrent / float64(len(perCore))
+	traces := make([][]Span, len(perCore))
+	for i, activity := range perCore {
+		traces[i] = Trace(activity, horizon, coreCfg)
+	}
+	return SumTraces(traces...)
+}
+
+// SumTraces superposes several contiguous load traces covering the same
+// horizon: currents add, voltages take the maximum, and span boundaries
+// are the union of the inputs' boundaries.
+func SumTraces(traces ...[]Span) []Span {
+	switch len(traces) {
+	case 0:
+		return nil
+	case 1:
+		return append([]Span(nil), traces[0]...)
+	}
+	// Collect all boundaries.
+	boundarySet := map[sim.Time]bool{}
+	for _, tr := range traces {
+		for _, s := range tr {
+			boundarySet[s.Start] = true
+			boundarySet[s.End] = true
+		}
+	}
+	bounds := make([]sim.Time, 0, len(boundarySet))
+	for b := range boundarySet {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+	cursors := make([]int, len(traces))
+	var out []Span
+	for i := 0; i+1 < len(bounds); i++ {
+		start, end := bounds[i], bounds[i+1]
+		var current, voltage float64
+		for t, tr := range traces {
+			for cursors[t] < len(tr) && tr[cursors[t]].End <= start {
+				cursors[t]++
+			}
+			if cursors[t] < len(tr) && tr[cursors[t]].Start <= start {
+				current += tr[cursors[t]].Current
+				if tr[cursors[t]].Voltage > voltage {
+					voltage = tr[cursors[t]].Voltage
+				}
+			}
+		}
+		// Merge equal-level neighbours to keep the trace compact.
+		if n := len(out); n > 0 && out[n-1].Current == current &&
+			out[n-1].Voltage == voltage && out[n-1].End == start {
+			out[n-1].End = end
+			continue
+		}
+		out = append(out, Span{Start: start, End: end,
+			Current: current, Voltage: voltage, Label: "pkg"})
+	}
+	return out
+}

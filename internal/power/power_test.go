@@ -1,0 +1,323 @@
+package power
+
+import (
+	"testing"
+
+	"pmuleak/internal/kernel"
+	"pmuleak/internal/sim"
+)
+
+func activity(spans ...[2]sim.Time) []kernel.Span {
+	out := make([]kernel.Span, len(spans))
+	for i, s := range spans {
+		out[i] = kernel.Span{Start: s[0], End: s[1]}
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.ActiveCurrent = 0
+	if bad.Validate() == nil {
+		t.Error("zero current accepted")
+	}
+	bad = DefaultConfig()
+	bad.PStates = nil
+	if bad.Validate() == nil {
+		t.Error("empty P-state table accepted")
+	}
+	bad = DefaultConfig()
+	bad.CStates = nil
+	if bad.Validate() == nil {
+		t.Error("empty C-state table accepted")
+	}
+	bad = DefaultConfig()
+	bad.IdleGovernorDelay = -1
+	if bad.Validate() == nil {
+		t.Error("negative governor delay accepted")
+	}
+}
+
+func TestDefaultTablesOrdered(t *testing.T) {
+	ps := DefaultPStates()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].FreqMHz >= ps[i-1].FreqMHz || ps[i].Voltage >= ps[i-1].Voltage {
+			t.Fatalf("P-state table not monotonically decreasing at %d", i)
+		}
+	}
+	cs := DefaultCStates()
+	for i := 1; i < len(cs); i++ {
+		if cs[i].CurrentFrac >= cs[i-1].CurrentFrac {
+			t.Fatalf("C-state current not decreasing at %d", i)
+		}
+		if cs[i].ExitLatency <= cs[i-1].ExitLatency {
+			t.Fatalf("C-state exit latency not increasing at %d", i)
+		}
+	}
+}
+
+func TestActiveSpansFullCurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := Trace(activity([2]sim.Time{0, sim.Millisecond}), sim.Millisecond, cfg)
+	if len(tr) != 1 {
+		t.Fatalf("trace = %v", tr)
+	}
+	if tr[0].Current != cfg.ActiveCurrent || tr[0].Label != "C0-P0" {
+		t.Fatalf("active span = %+v", tr[0])
+	}
+}
+
+func TestIdleDropsToDeepCState(t *testing.T) {
+	cfg := DefaultConfig()
+	// Busy 1ms, idle 9ms.
+	tr := Trace(activity([2]sim.Time{0, sim.Millisecond}), 10*sim.Millisecond, cfg)
+	deepCurrent := cfg.ActiveCurrent * cfg.deepest().CurrentFrac
+	got := CurrentAt(tr, 5*sim.Millisecond)
+	if got != deepCurrent {
+		t.Fatalf("deep idle current = %v, want %v", got, deepCurrent)
+	}
+	// Shallow idle during the governor delay.
+	shallow := CurrentAt(tr, sim.Millisecond+cfg.IdleGovernorDelay/2)
+	if shallow <= deepCurrent || shallow >= cfg.ActiveCurrent {
+		t.Fatalf("shallow idle current = %v", shallow)
+	}
+}
+
+func TestIdleVoltageDropsWithPStates(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := Trace(nil, 10*sim.Millisecond, cfg)
+	last := tr[len(tr)-1]
+	if last.Voltage >= cfg.fastestP().Voltage {
+		t.Fatalf("deep idle voltage = %v, want below active %v", last.Voltage, cfg.fastestP().Voltage)
+	}
+}
+
+func TestModulationBothEnabled(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := Trace(activity([2]sim.Time{0, sim.Millisecond}), 2*sim.Millisecond, cfg)
+	if d := ModulationDepth(tr); d < 0.9 {
+		t.Fatalf("modulation depth = %v, want near 1 (on-off keying)", d)
+	}
+}
+
+func TestModulationCStatesOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PStatesEnabled = false
+	tr := Trace(activity([2]sim.Time{0, sim.Millisecond}), 2*sim.Millisecond, cfg)
+	if d := ModulationDepth(tr); d < 0.9 {
+		t.Fatalf("C-only modulation depth = %v, want high", d)
+	}
+}
+
+func TestModulationPStatesOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CStatesEnabled = false
+	tr := Trace(activity([2]sim.Time{0, sim.Millisecond}), 2*sim.Millisecond, cfg)
+	d := ModulationDepth(tr)
+	// DVFS alone still gives clear (if weaker) modulation.
+	if d < 0.5 {
+		t.Fatalf("P-only modulation depth = %v, want > 0.5", d)
+	}
+}
+
+func TestModulationBothDisabledCollapses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PStatesEnabled = false
+	cfg.CStatesEnabled = false
+	tr := Trace(activity([2]sim.Time{0, sim.Millisecond}), 2*sim.Millisecond, cfg)
+	if d := ModulationDepth(tr); d > 0.15 {
+		t.Fatalf("modulation depth with PM disabled = %v, want near 0", d)
+	}
+	// And the current stays high throughout — the "continuously
+	// present strong spikes" observation.
+	if c := CurrentAt(tr, 1500*sim.Microsecond); c < 0.8*cfg.ActiveCurrent {
+		t.Fatalf("idle current with PM disabled = %v, want near full", c)
+	}
+}
+
+func TestShortIdleStaysShallow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdleGovernorDelay = 50 * sim.Microsecond
+	// Idle gap shorter than the governor delay never reaches deep idle.
+	tr := Trace(activity(
+		[2]sim.Time{0, sim.Millisecond},
+		[2]sim.Time{sim.Millisecond + 20*sim.Microsecond, 2 * sim.Millisecond},
+	), 2*sim.Millisecond, cfg)
+	deep := cfg.ActiveCurrent * cfg.deepest().CurrentFrac
+	for _, s := range tr {
+		if s.Current == deep {
+			t.Fatalf("short gap reached deep idle: %+v", s)
+		}
+	}
+}
+
+func TestTraceCoversHorizonExactly(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := Trace(activity(
+		[2]sim.Time{sim.Millisecond, 2 * sim.Millisecond},
+		[2]sim.Time{5 * sim.Millisecond, 6 * sim.Millisecond},
+	), 10*sim.Millisecond, cfg)
+	if tr[0].Start != 0 {
+		t.Fatalf("trace starts at %v", tr[0].Start)
+	}
+	if tr[len(tr)-1].End != 10*sim.Millisecond {
+		t.Fatalf("trace ends at %v", tr[len(tr)-1].End)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Start != tr[i-1].End {
+			t.Fatalf("gap/overlap between spans %d and %d: %v vs %v",
+				i-1, i, tr[i-1].End, tr[i].Start)
+		}
+	}
+}
+
+func TestTraceClampsActivityPastHorizon(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := Trace(activity([2]sim.Time{0, 20 * sim.Millisecond}), 5*sim.Millisecond, cfg)
+	if tr[len(tr)-1].End != 5*sim.Millisecond {
+		t.Fatalf("trace end = %v", tr[len(tr)-1].End)
+	}
+}
+
+func TestMeanCurrent(t *testing.T) {
+	tr := []Span{
+		{Start: 0, End: sim.Millisecond, Current: 10},
+		{Start: sim.Millisecond, End: 3 * sim.Millisecond, Current: 1},
+	}
+	want := (10.0*1 + 1.0*2) / 3
+	if got := MeanCurrent(tr); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("MeanCurrent = %v, want %v", got, want)
+	}
+	if MeanCurrent(nil) != 0 {
+		t.Error("MeanCurrent(nil) != 0")
+	}
+}
+
+func TestModulationDepthEmpty(t *testing.T) {
+	if ModulationDepth(nil) != 0 {
+		t.Error("ModulationDepth(nil) != 0")
+	}
+}
+
+func TestCurrentAtOutsideTrace(t *testing.T) {
+	tr := Trace(nil, sim.Millisecond, DefaultConfig())
+	if CurrentAt(tr, 2*sim.Millisecond) != 0 {
+		t.Error("CurrentAt past trace end should be 0")
+	}
+}
+
+func TestKernelToPowerIntegration(t *testing.T) {
+	// End-to-end: a transmitter-like workload produces alternating
+	// high/low current with strong modulation.
+	kcfg := kernel.DefaultConfig(kernel.Linux)
+	kcfg.InterruptRate = 0
+	kcfg.TickInterval = 0
+	k := kernel.New(kcfg, 5)
+	defer k.Close()
+	k.Spawn("tx", func(p *kernel.Proc) {
+		for i := 0; i < 20; i++ {
+			p.Busy(100 * sim.Microsecond)
+			p.Sleep(100 * sim.Microsecond)
+		}
+	})
+	horizon := 5 * sim.Millisecond
+	k.Run(horizon)
+	tr := Trace(k.Activity(horizon), horizon, DefaultConfig())
+	if d := ModulationDepth(tr); d < 0.9 {
+		t.Fatalf("end-to-end modulation depth = %v", d)
+	}
+	// Roughly half the time should be at high current.
+	mean := MeanCurrent(tr)
+	cfg := DefaultConfig()
+	if mean < 0.3*cfg.ActiveCurrent || mean > 0.8*cfg.ActiveCurrent {
+		t.Fatalf("mean current = %v of %v", mean, cfg.ActiveCurrent)
+	}
+}
+
+func spanOn(core int, start, end sim.Time) kernel.Span {
+	return kernel.Span{Start: start, End: end, Core: core}
+}
+
+func TestSumTracesAddsCurrents(t *testing.T) {
+	a := []Span{{Start: 0, End: 10, Current: 2, Voltage: 1.0}}
+	b := []Span{{Start: 0, End: 5, Current: 3, Voltage: 1.2},
+		{Start: 5, End: 10, Current: 1, Voltage: 0.8}}
+	sum := SumTraces(a, b)
+	if len(sum) != 2 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if sum[0].Current != 5 || sum[0].Voltage != 1.2 {
+		t.Fatalf("first span = %+v", sum[0])
+	}
+	if sum[1].Current != 3 || sum[1].Voltage != 1.0 {
+		t.Fatalf("second span = %+v", sum[1])
+	}
+}
+
+func TestSumTracesDegenerate(t *testing.T) {
+	if SumTraces() != nil {
+		t.Fatal("empty sum not nil")
+	}
+	a := []Span{{Start: 0, End: 1, Current: 2}}
+	got := SumTraces(a)
+	if len(got) != 1 || got[0].Current != 2 {
+		t.Fatalf("single-trace sum = %v", got)
+	}
+}
+
+func TestSumTracesMergesEqualLevels(t *testing.T) {
+	a := []Span{{Start: 0, End: 5, Current: 1, Voltage: 1},
+		{Start: 5, End: 10, Current: 1, Voltage: 1}}
+	b := []Span{{Start: 0, End: 10, Current: 2, Voltage: 1}}
+	sum := SumTraces(a, b)
+	if len(sum) != 1 || sum[0].Current != 3 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestTracePerCoreSharesCurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	horizon := sim.Millisecond
+	// Both cores fully active: package current equals single-core full.
+	perCore := [][]kernel.Span{
+		{spanOn(0, 0, horizon)},
+		{spanOn(1, 0, horizon)},
+	}
+	tr := TracePerCore(perCore, horizon, cfg)
+	if got := CurrentAt(tr, horizon/2); got != cfg.ActiveCurrent {
+		t.Fatalf("both-active package current = %v, want %v", got, cfg.ActiveCurrent)
+	}
+	// One core active: half the package current.
+	perCore[1] = nil
+	tr = TracePerCore(perCore, horizon, cfg)
+	if got := CurrentAt(tr, horizon/2); got < 0.45*cfg.ActiveCurrent || got > 0.55*cfg.ActiveCurrent {
+		t.Fatalf("one-active package current = %v, want ~half", got)
+	}
+}
+
+func TestTracePerCoreVRMSeesAllCores(t *testing.T) {
+	// The security consequence: an "isolated" busy burst on core 1
+	// during core 0's idle period is fully visible at the package rail.
+	cfg := DefaultConfig()
+	horizon := 10 * sim.Millisecond
+	perCore := [][]kernel.Span{
+		{spanOn(0, 0, sim.Millisecond)},                   // transmitter-style burst, then idle
+		{spanOn(1, 5*sim.Millisecond, 6*sim.Millisecond)}, // "isolated" victim
+	}
+	tr := TracePerCore(perCore, horizon, cfg)
+	during := CurrentAt(tr, 5500*sim.Microsecond)
+	before := CurrentAt(tr, 4*sim.Millisecond)
+	if during < 5*before {
+		t.Fatalf("cross-core burst invisible at package: %v vs %v", during, before)
+	}
+}
+
+func TestTracePerCoreEmptyFallsBack(t *testing.T) {
+	tr := TracePerCore(nil, sim.Millisecond, DefaultConfig())
+	if len(tr) == 0 {
+		t.Fatal("no trace")
+	}
+}

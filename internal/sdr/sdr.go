@@ -1,0 +1,166 @@
+// Package sdr models the attacker's receiver: an RTL-SDR-v3-class
+// software-defined radio fed by either a tiny hand-wound coil probe
+// (near-field placement) or a 30 cm loop antenna with a built-in 20 dB
+// amplifier (distance / through-wall placement). The model captures the
+// artifacts that matter to the decoder: antenna gain, front-end thermal
+// noise, automatic gain control, and 8-bit quantization.
+package sdr
+
+import (
+	"fmt"
+	"math"
+
+	"pmuleak/internal/xrand"
+)
+
+// Antenna describes the pickup device.
+type Antenna struct {
+	Name   string
+	GainDB float64 // amplitude gain of antenna + integrated amplifier
+}
+
+// CoilProbe is the paper's coin-sized 33-turn, 5 mm magnetic probe
+// (< $5, no amplifier).
+var CoilProbe = Antenna{Name: "coil-probe-5mm", GainDB: 0}
+
+// LoopLA390 is the AOR LA390 30 cm loop antenna with its built-in 20 dB
+// amplifier, used for the distance and through-wall experiments.
+var LoopLA390 = Antenna{Name: "AOR-LA390", GainDB: 20}
+
+// Config describes the receiver chain.
+type Config struct {
+	Antenna    Antenna
+	SampleRate float64 // complex samples per second
+	// Bits is the ADC resolution per I/Q component (RTL-SDR: 8).
+	Bits int
+	// ThermalNoiseSigma is the front-end noise added after the antenna,
+	// per I/Q component, relative to a full-scale input of 1.0.
+	ThermalNoiseSigma float64
+	// AGCTargetRMS is the RMS level (fraction of full scale) the
+	// automatic gain control drives the signal to before quantization.
+	// Zero disables AGC (unity digital gain).
+	AGCTargetRMS float64
+	// DCOffset adds the direct-conversion receiver's characteristic DC
+	// spike at the tuning frequency (fraction of full scale). RTL-SDR
+	// captures show it prominently at baseband zero.
+	DCOffset float64
+	// IQImbalanceFrac is the gain mismatch between the I and Q paths;
+	// it mirrors every signal faintly across zero frequency.
+	IQImbalanceFrac float64
+}
+
+// DefaultConfig returns an RTL-SDR v3 at its maximum stable rate.
+func DefaultConfig() Config {
+	return Config{
+		Antenna:           CoilProbe,
+		SampleRate:        2.4e6,
+		Bits:              8,
+		ThermalNoiseSigma: 0.002,
+		AGCTargetRMS:      0.25,
+		DCOffset:          0.01,
+		IQImbalanceFrac:   0.01,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("sdr: SampleRate must be positive")
+	}
+	if c.Bits < 1 || c.Bits > 16 {
+		return fmt.Errorf("sdr: Bits %d out of range [1,16]", c.Bits)
+	}
+	if c.ThermalNoiseSigma < 0 {
+		return fmt.Errorf("sdr: negative ThermalNoiseSigma")
+	}
+	if c.AGCTargetRMS < 0 || c.AGCTargetRMS > 0.5 {
+		return fmt.Errorf("sdr: AGCTargetRMS %v out of range [0,0.5]", c.AGCTargetRMS)
+	}
+	if c.DCOffset < 0 || c.DCOffset > 0.2 {
+		return fmt.Errorf("sdr: DCOffset %v out of range [0,0.2]", c.DCOffset)
+	}
+	if c.IQImbalanceFrac < 0 || c.IQImbalanceFrac > 0.2 {
+		return fmt.Errorf("sdr: IQImbalanceFrac %v out of range [0,0.2]", c.IQImbalanceFrac)
+	}
+	return nil
+}
+
+// Capture is a finished acquisition.
+type Capture struct {
+	IQ           []complex128 // dequantized samples in [-1, 1]
+	SampleRate   float64
+	CenterFreqHz float64
+	// Clipped is the number of samples that hit the ADC rails.
+	Clipped int
+}
+
+// Duration returns the capture length in seconds.
+func (c *Capture) Duration() float64 {
+	return float64(len(c.IQ)) / c.SampleRate
+}
+
+// Acquire runs the input field samples through the receiver chain and
+// returns the capture a host application would see.
+func Acquire(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Source) *Capture {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	gain := math.Pow(10, cfg.Antenna.GainDB/20)
+	out := make([]complex128, len(iq))
+	for i, v := range iq {
+		out[i] = v * complex(gain, 0)
+		if cfg.IQImbalanceFrac > 0 {
+			// Gain mismatch on the I path: scales the real part only,
+			// equivalent to leaking a conjugate image.
+			out[i] = complex(real(out[i])*(1+cfg.IQImbalanceFrac), imag(out[i]))
+		}
+		if cfg.ThermalNoiseSigma > 0 {
+			out[i] += complex(rng.Normal(0, cfg.ThermalNoiseSigma),
+				rng.Normal(0, cfg.ThermalNoiseSigma))
+		}
+	}
+	// AGC: single measurement over the capture (the RTL's gain is set
+	// once per tuning in practice).
+	if cfg.AGCTargetRMS > 0 {
+		var sum float64
+		for _, v := range out {
+			sum += real(v)*real(v) + imag(v)*imag(v)
+		}
+		rms := math.Sqrt(sum / math.Max(1, float64(len(out))))
+		if rms > 0 {
+			agc := cfg.AGCTargetRMS / rms
+			for i := range out {
+				out[i] *= complex(agc, 0)
+			}
+		}
+	}
+	cap := &Capture{SampleRate: cfg.SampleRate, CenterFreqHz: centerFreqHz}
+	levels := float64(int(1) << (cfg.Bits - 1)) // e.g. 128 for 8-bit
+	for i := range out {
+		if cfg.DCOffset > 0 {
+			out[i] += complex(cfg.DCOffset, 0)
+		}
+		re, cr := quantize(real(out[i]), levels)
+		im, ci := quantize(imag(out[i]), levels)
+		if cr || ci {
+			cap.Clipped++
+		}
+		out[i] = complex(re, im)
+	}
+	cap.IQ = out
+	return cap
+}
+
+// quantize maps v in [-1,1) onto the ADC grid, clipping outside.
+func quantize(v, levels float64) (q float64, clipped bool) {
+	x := math.Round(v * levels)
+	if x >= levels {
+		x = levels - 1
+		clipped = true
+	}
+	if x < -levels {
+		x = -levels
+		clipped = true
+	}
+	return x / levels, clipped
+}

@@ -1,0 +1,256 @@
+package sdr
+
+import (
+	"math"
+	"testing"
+
+	"pmuleak/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.SampleRate = 0 },
+		func(c *Config) { c.Bits = 0 },
+		func(c *Config) { c.Bits = 24 },
+		func(c *Config) { c.ThermalNoiseSigma = -1 },
+		func(c *Config) { c.AGCTargetRMS = 0.9 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAntennaGains(t *testing.T) {
+	if CoilProbe.GainDB != 0 {
+		t.Errorf("CoilProbe gain = %v", CoilProbe.GainDB)
+	}
+	if LoopLA390.GainDB != 20 {
+		t.Errorf("LoopLA390 gain = %v", LoopLA390.GainDB)
+	}
+}
+
+func TestAcquirePreservesLengthAndMeta(t *testing.T) {
+	cfg := DefaultConfig()
+	in := make([]complex128, 1000)
+	cap := Acquire(in, 1.455e6, cfg, xrand.New(1))
+	if len(cap.IQ) != 1000 {
+		t.Fatalf("len = %d", len(cap.IQ))
+	}
+	if cap.CenterFreqHz != 1.455e6 || cap.SampleRate != cfg.SampleRate {
+		t.Fatalf("metadata wrong: %+v", cap)
+	}
+	if d := cap.Duration(); math.Abs(d-1000/2.4e6) > 1e-12 {
+		t.Fatalf("Duration = %v", d)
+	}
+}
+
+func TestQuantizationGrid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThermalNoiseSigma = 0
+	cfg.AGCTargetRMS = 0 // unity gain
+	cfg.DCOffset = 0
+	cfg.IQImbalanceFrac = 0
+	in := []complex128{complex(0.5, -0.25), complex(0.123456, 0)}
+	cap := Acquire(in, 0, cfg, xrand.New(2))
+	for _, v := range cap.IQ {
+		for _, comp := range []float64{real(v), imag(v)} {
+			scaled := comp * 128
+			if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+				t.Fatalf("sample %v not on the 8-bit grid", v)
+			}
+		}
+	}
+}
+
+func TestQuantizationClips(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThermalNoiseSigma = 0
+	cfg.AGCTargetRMS = 0
+	in := []complex128{complex(5, 0), complex(-5, -5), complex(0.1, 0)}
+	cap := Acquire(in, 0, cfg, xrand.New(3))
+	if cap.Clipped != 2 {
+		t.Fatalf("Clipped = %d, want 2", cap.Clipped)
+	}
+	if re := real(cap.IQ[0]); re > 1 {
+		t.Fatalf("clipped sample out of range: %v", re)
+	}
+}
+
+func TestAGCBringsWeakSignalUp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThermalNoiseSigma = 0
+	in := make([]complex128, 4096)
+	for i := range in {
+		in[i] = complex(1e-4*math.Cos(0.1*float64(i)), 1e-4*math.Sin(0.1*float64(i)))
+	}
+	cap := Acquire(in, 0, cfg, xrand.New(4))
+	var sum float64
+	for _, v := range cap.IQ {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	rms := math.Sqrt(sum / float64(len(cap.IQ)))
+	if math.Abs(rms-cfg.AGCTargetRMS) > 0.05 {
+		t.Fatalf("post-AGC RMS = %v, want ~%v", rms, cfg.AGCTargetRMS)
+	}
+}
+
+func TestAGCDisabledKeepsLevel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThermalNoiseSigma = 0
+	cfg.AGCTargetRMS = 0
+	cfg.DCOffset = 0
+	cfg.IQImbalanceFrac = 0
+	in := []complex128{complex(0.5, 0)}
+	cap := Acquire(in, 0, cfg, xrand.New(5))
+	if math.Abs(real(cap.IQ[0])-0.5) > 1.0/128 {
+		t.Fatalf("sample moved without AGC: %v", cap.IQ[0])
+	}
+}
+
+func TestLoopAntennaAmplifies(t *testing.T) {
+	// With AGC off, the 20 dB loop output is 10x the probe output.
+	base := DefaultConfig()
+	base.ThermalNoiseSigma = 0
+	base.AGCTargetRMS = 0
+	base.DCOffset = 0
+	base.IQImbalanceFrac = 0
+	base.Bits = 16 // fine grid so the ratio is measurable
+	in := []complex128{complex(0.001, 0)}
+
+	probeCap := Acquire(in, 0, base, xrand.New(6))
+	loopCfg := base
+	loopCfg.Antenna = LoopLA390
+	loopCap := Acquire(in, 0, loopCfg, xrand.New(6))
+
+	ratio := real(loopCap.IQ[0]) / real(probeCap.IQ[0])
+	if math.Abs(ratio-10) > 0.7 {
+		t.Fatalf("loop/probe amplitude ratio = %v, want ~10", ratio)
+	}
+}
+
+func TestThermalNoiseFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AGCTargetRMS = 0
+	cfg.ThermalNoiseSigma = 0.01
+	cfg.DCOffset = 0
+	cfg.IQImbalanceFrac = 0
+	cfg.Bits = 16
+	in := make([]complex128, 50000)
+	cap := Acquire(in, 0, cfg, xrand.New(7))
+	var sum float64
+	for _, v := range cap.IQ {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	rms := math.Sqrt(sum / float64(len(cap.IQ)))
+	want := 0.01 * math.Sqrt2
+	if math.Abs(rms-want) > 0.002 {
+		t.Fatalf("noise RMS = %v, want ~%v", rms, want)
+	}
+}
+
+func TestAcquireDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	in := make([]complex128, 2048)
+	for i := range in {
+		in[i] = complex(math.Sin(0.01*float64(i)), 0)
+	}
+	a := Acquire(in, 0, cfg, xrand.New(8))
+	b := Acquire(in, 0, cfg, xrand.New(8))
+	for i := range a.IQ {
+		if a.IQ[i] != b.IQ[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestAcquireEmpty(t *testing.T) {
+	cap := Acquire(nil, 0, DefaultConfig(), xrand.New(9))
+	if len(cap.IQ) != 0 || cap.Clipped != 0 {
+		t.Fatalf("empty acquire = %+v", cap)
+	}
+}
+
+func TestQuantizeBounds(t *testing.T) {
+	for _, v := range []float64{-2, -1, -0.5, 0, 0.5, 0.9999, 1, 2} {
+		q, _ := quantize(v, 128)
+		if q < -1 || q >= 1 {
+			t.Fatalf("quantize(%v) = %v out of [-1,1)", v, q)
+		}
+	}
+}
+
+func TestDCOffsetSpike(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThermalNoiseSigma = 0
+	cfg.AGCTargetRMS = 0
+	cfg.DCOffset = 0.05
+	cfg.Bits = 16
+	in := make([]complex128, 256)
+	cap := Acquire(in, 0, cfg, xrand.New(20))
+	var mean complex128
+	for _, v := range cap.IQ {
+		mean += v
+	}
+	mean /= complex(float64(len(cap.IQ)), 0)
+	if math.Abs(real(mean)-0.05) > 0.001 {
+		t.Fatalf("DC offset = %v, want 0.05", mean)
+	}
+}
+
+func TestIQImbalanceCreatesImage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThermalNoiseSigma = 0
+	cfg.AGCTargetRMS = 0
+	cfg.DCOffset = 0
+	cfg.IQImbalanceFrac = 0.1
+	cfg.Bits = 16
+	const f = 0.1
+	in := make([]complex128, 4096)
+	for i := range in {
+		angle := 2 * math.Pi * f * float64(i)
+		in[i] = complex(0.3*math.Cos(angle), 0.3*math.Sin(angle))
+	}
+	cap := Acquire(in, 0, cfg, xrand.New(21))
+	// DFT magnitudes at +f and -f via direct correlation.
+	mag := func(freq float64) float64 {
+		var re, im float64
+		for i, v := range cap.IQ {
+			angle := -2 * math.Pi * freq * float64(i)
+			c, s := math.Cos(angle), math.Sin(angle)
+			re += real(v)*c - imag(v)*s
+			im += real(v)*s + imag(v)*c
+		}
+		return math.Hypot(re, im)
+	}
+	signal := mag(f)
+	image := mag(-f)
+	if image <= 0 || image > signal/5 {
+		t.Fatalf("image = %v vs signal %v, want a faint mirror", image, signal)
+	}
+	// Without imbalance the image vanishes.
+	cfg.IQImbalanceFrac = 0
+	cap = Acquire(in, 0, cfg, xrand.New(21))
+	if clean := mag(-f); clean > image/5 {
+		t.Fatalf("image persists without imbalance: %v", clean)
+	}
+}
+
+func TestArtifactValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DCOffset = 0.5
+	if cfg.Validate() == nil {
+		t.Error("huge DC offset accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.IQImbalanceFrac = 0.5
+	if cfg.Validate() == nil {
+		t.Error("huge IQ imbalance accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package vrm
+
+import (
+	"math"
+	"testing"
+
+	"pmuleak/internal/power"
+	"pmuleak/internal/sim"
+	"pmuleak/internal/xrand"
+)
+
+func load(current float64, start, end sim.Time) power.Span {
+	return power.Span{Start: start, End: end, Current: current, Voltage: 1.2}
+}
+
+func noJitter() Config {
+	cfg := DefaultConfig()
+	cfg.PeriodJitterFrac = 0
+	cfg.AmplitudeNoiseFrac = 0
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.SwitchingFreqHz = 0 },
+		func(c *Config) { c.PeriodJitterFrac = -1 },
+		func(c *Config) { c.PeriodJitterFrac = 0.9 },
+		func(c *Config) { c.InputVoltage = 0 },
+		func(c *Config) { c.ShedThresholdA = -1 },
+		func(c *Config) { c.MinPulseCharge = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	cfg := DefaultConfig()
+	want := sim.FromSeconds(1 / 970e3)
+	if got := cfg.Period(); got != want {
+		t.Fatalf("Period = %v, want %v", got, want)
+	}
+}
+
+func TestFullLoadPulsesEveryPeriod(t *testing.T) {
+	cfg := noJitter()
+	rng := xrand.New(1)
+	horizon := sim.Millisecond
+	pulses := Pulses([]power.Span{load(20, 0, horizon)}, horizon, cfg, rng)
+	wantCount := int(float64(horizon) / float64(cfg.Period()))
+	if len(pulses) < wantCount-1 || len(pulses) > wantCount+1 {
+		t.Fatalf("pulse count = %d, want ~%d", len(pulses), wantCount)
+	}
+	// Uniform spacing at the switching period.
+	for i := 1; i < len(pulses); i++ {
+		gap := pulses[i].At - pulses[i-1].At
+		if gap != cfg.Period() {
+			t.Fatalf("gap %d = %v, want %v", i, gap, cfg.Period())
+		}
+	}
+}
+
+func TestIdleLoadShedsPulses(t *testing.T) {
+	cfg := noJitter()
+	rng := xrand.New(2)
+	horizon := sim.Millisecond
+	// Deep-idle current: 3% of 20A = 0.6A, well under the 2A threshold.
+	pulses := Pulses([]power.Span{load(0.6, 0, horizon)}, horizon, cfg, rng)
+	full := Pulses([]power.Span{load(20, 0, horizon)}, horizon, cfg, xrand.New(2))
+	if len(pulses) == 0 {
+		t.Fatal("no pulses at idle; converter must still top up the capacitor")
+	}
+	if float64(len(pulses)) > 0.5*float64(len(full)) {
+		t.Fatalf("idle pulse count %d not much less than full-load %d", len(pulses), len(full))
+	}
+}
+
+func TestChargeConservationFullLoad(t *testing.T) {
+	cfg := noJitter()
+	rng := xrand.New(3)
+	horizon := 10 * sim.Millisecond
+	const current = 20.0
+	pulses := Pulses([]power.Span{load(current, 0, horizon)}, horizon, cfg, rng)
+	delivered := TotalCharge(pulses)
+	drained := current * horizon.Seconds()
+	if math.Abs(delivered-drained)/drained > 0.01 {
+		t.Fatalf("delivered %v, drained %v", delivered, drained)
+	}
+}
+
+func TestChargeConservationIdle(t *testing.T) {
+	cfg := noJitter()
+	rng := xrand.New(4)
+	horizon := 50 * sim.Millisecond
+	const current = 0.5
+	pulses := Pulses([]power.Span{load(current, 0, horizon)}, horizon, cfg, rng)
+	delivered := TotalCharge(pulses)
+	drained := current * horizon.Seconds()
+	// Up to one MinPulseCharge may still be pending at the horizon.
+	if delivered > drained || drained-delivered > cfg.MinPulseCharge*1.01 {
+		t.Fatalf("delivered %v, drained %v", delivered, drained)
+	}
+}
+
+func TestAlternatingLoadModulatesPulseEnergy(t *testing.T) {
+	cfg := noJitter()
+	rng := xrand.New(5)
+	// 100µs active / 100µs idle alternation for 10ms.
+	var trace []power.Span
+	for t := sim.Time(0); t < 10*sim.Millisecond; t += 200 * sim.Microsecond {
+		trace = append(trace, load(20, t, t+100*sim.Microsecond))
+		trace = append(trace, load(0.6, t+100*sim.Microsecond, t+200*sim.Microsecond))
+	}
+	horizon := 10 * sim.Millisecond
+	pulses := Pulses(trace, horizon, cfg, rng)
+	// Average charge-flow during active halves must far exceed idle halves.
+	var activeC, idleC float64
+	for _, p := range pulses {
+		phase := p.At % (200 * sim.Microsecond)
+		if phase < 100*sim.Microsecond {
+			activeC += p.Charge
+		} else {
+			idleC += p.Charge
+		}
+	}
+	if activeC < 5*idleC {
+		t.Fatalf("active charge %v not dominating idle charge %v", activeC, idleC)
+	}
+}
+
+func TestPeriodJitterSpreadsGaps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PeriodJitterFrac = 0.01
+	rng := xrand.New(6)
+	horizon := sim.Millisecond
+	pulses := Pulses([]power.Span{load(20, 0, horizon)}, horizon, cfg, rng)
+	distinct := map[sim.Time]bool{}
+	for i := 1; i < len(pulses); i++ {
+		distinct[pulses[i].At-pulses[i-1].At] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("jittered pulse train has constant gaps")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	horizon := sim.Millisecond
+	a := Pulses([]power.Span{load(20, 0, horizon)}, horizon, cfg, xrand.New(9))
+	b := Pulses([]power.Span{load(20, 0, horizon)}, horizon, cfg, xrand.New(9))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pulse %d differs", i)
+		}
+	}
+}
+
+func TestMeanPulseRate(t *testing.T) {
+	pulses := []Pulse{{At: 0}, {At: 1}, {At: 2}}
+	if r := MeanPulseRate(pulses, sim.Second); r != 3 {
+		t.Fatalf("MeanPulseRate = %v", r)
+	}
+	if r := MeanPulseRate(pulses, 0); r != 0 {
+		t.Fatalf("MeanPulseRate(horizon 0) = %v", r)
+	}
+}
+
+func TestEnergyRateBinsCharge(t *testing.T) {
+	pulses := []Pulse{
+		{At: 0, Charge: 1},
+		{At: 5 * sim.Microsecond, Charge: 2},
+		{At: 15 * sim.Microsecond, Charge: 4},
+	}
+	rate := EnergyRate(pulses, 20*sim.Microsecond, 10*sim.Microsecond)
+	if len(rate) != 2 {
+		t.Fatalf("rate = %v", rate)
+	}
+	dt := (10 * sim.Microsecond).Seconds()
+	if math.Abs(rate[0]-3/dt) > 1e-6 || math.Abs(rate[1]-4/dt) > 1e-6 {
+		t.Fatalf("rate = %v", rate)
+	}
+}
+
+func TestEnergyRateBadDTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for dt=0")
+		}
+	}()
+	EnergyRate(nil, sim.Second, 0)
+}
+
+func TestEnergyRateDropsOutOfRangePulses(t *testing.T) {
+	pulses := []Pulse{{At: 100 * sim.Microsecond, Charge: 1}}
+	rate := EnergyRate(pulses, 50*sim.Microsecond, 10*sim.Microsecond)
+	for _, r := range rate {
+		if r != 0 {
+			t.Fatalf("out-of-horizon pulse leaked into rate: %v", rate)
+		}
+	}
+}
+
+func TestMultiPhaseInterleaving(t *testing.T) {
+	cfg := noJitter()
+	cfg.Phases = 4
+	rng := xrand.New(20)
+	horizon := 100 * sim.Microsecond
+	pulses := Pulses([]power.Span{load(20, 0, horizon)}, horizon, cfg, rng)
+	single := Pulses([]power.Span{load(20, 0, horizon)}, horizon, noJitter(), xrand.New(20))
+	if len(pulses) != 4*len(single) {
+		t.Fatalf("4-phase pulse count %d, single-phase %d", len(pulses), len(single))
+	}
+	// Phases fire T/4 apart in round-robin order (the gap wrapping to
+	// the next period differs by the integer-division remainder).
+	sub := cfg.Period() / 4
+	for i := 1; i < 8; i++ {
+		if i%4 != 0 {
+			if gap := pulses[i].At - pulses[i-1].At; gap != sub {
+				t.Fatalf("phase gap %d = %v, want %v", i, gap, sub)
+			}
+		}
+		if pulses[i].Phase != i%4 {
+			t.Fatalf("pulse %d phase = %d", i, pulses[i].Phase)
+		}
+	}
+}
+
+func TestMultiPhaseConservesCharge(t *testing.T) {
+	cfg := noJitter()
+	cfg.Phases = 3
+	rng := xrand.New(21)
+	horizon := 10 * sim.Millisecond
+	const current = 20.0
+	pulses := Pulses([]power.Span{load(current, 0, horizon)}, horizon, cfg, rng)
+	delivered := TotalCharge(pulses)
+	drained := current * horizon.Seconds()
+	if math.Abs(delivered-drained)/drained > 0.02 {
+		t.Fatalf("delivered %v, drained %v", delivered, drained)
+	}
+}
+
+func TestMultiPhaseShedsToSinglePhase(t *testing.T) {
+	cfg := noJitter()
+	cfg.Phases = 4
+	rng := xrand.New(22)
+	horizon := 5 * sim.Millisecond
+	pulses := Pulses([]power.Span{load(0.5, 0, horizon)}, horizon, cfg, rng)
+	for _, p := range pulses {
+		if p.Phase != 0 {
+			t.Fatalf("shed pulse on phase %d, want single-phase operation", p.Phase)
+		}
+	}
+}
+
+func TestPhaseImbalanceSpreadsCharge(t *testing.T) {
+	cfg := noJitter()
+	cfg.Phases = 2
+	cfg.PhaseImbalanceFrac = 0.2
+	rng := xrand.New(23)
+	horizon := sim.Millisecond
+	pulses := Pulses([]power.Span{load(20, 0, horizon)}, horizon, cfg, rng)
+	var c0, c1 float64
+	for _, p := range pulses {
+		if p.Phase == 0 {
+			c0 += p.Charge
+		} else {
+			c1 += p.Charge
+		}
+	}
+	if c0 == c1 {
+		t.Fatal("imbalance had no effect")
+	}
+	ratio := c1 / c0
+	if ratio < 1.1 || ratio > 1.4 {
+		t.Fatalf("phase charge ratio = %v, want ~1.22 for 20%% imbalance", ratio)
+	}
+}
+
+func TestValidatePhases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Phases = 9
+	if cfg.Validate() == nil {
+		t.Error("9 phases accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.PhaseImbalanceFrac = 2
+	if cfg.Validate() == nil {
+		t.Error("imbalance 2 accepted")
+	}
+}
