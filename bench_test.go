@@ -9,13 +9,16 @@
 package pmuleak
 
 import (
+	"fmt"
 	"testing"
 
 	"pmuleak/internal/core"
 	"pmuleak/internal/covert"
 	"pmuleak/internal/dsp"
+	"pmuleak/internal/emchannel"
 	"pmuleak/internal/experiments"
 	"pmuleak/internal/laptop"
+	"pmuleak/internal/sdr"
 	"pmuleak/internal/sim"
 	"pmuleak/internal/xrand"
 )
@@ -370,6 +373,66 @@ func BenchmarkStageSlidingDFT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dsp.SlidingDFT(x, 1024, []int{207, 817})
+	}
+}
+
+// BenchmarkSTFTParallel measures the engine's spectrogram throughput at
+// several worker counts over a half-megasample capture (the Fig. 2
+// shape: 1024-point FFT, 4x overlap). The parallel path also commits to
+// zero steady-state allocations beyond the output spectrogram itself —
+// ReportAllocs makes regressions visible.
+func BenchmarkSTFTParallel(b *testing.B) {
+	rng := xrand.New(5)
+	x := make([]complex128, 1<<19)
+	for i := range x {
+		x[i] = complex(rng.Normal(0, 1), rng.Normal(0, 1))
+	}
+	window := dsp.Hann(1024)
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			eng := dsp.NewEngine(p)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(x) * 16))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.STFT(x, 1024, 256, window, 2.4e6)
+			}
+		})
+	}
+}
+
+// BenchmarkDemodulateParallel times the receiver alone — the capture is
+// built once outside the loop — serial versus parallel, on a 256-bit
+// frame. The decoded bits are bit-identical between the sub-benchmarks
+// by the engine's equivalence guarantee; only wall-clock may differ.
+func BenchmarkDemodulateParallel(b *testing.B) {
+	prof := laptop.Reference()
+	sys := laptop.NewSystem(prof, 9)
+	defer sys.Close()
+	txCfg := covert.DefaultTXConfig(prof.DefaultSleepPeriod)
+	frame := covert.EncodeFrame(xrand.New(9).Bits(256), txCfg)
+	covert.SpawnTransmitter(sys.Kernel(), frame, txCfg)
+	horizon := covert.AirtimeEstimate(frame, txCfg, prof.Kernel)
+	sys.Run(horizon)
+	plan := sys.DefaultPlan()
+	field := sys.Emanations(horizon, plan)
+	rng := xrand.New(10)
+	field = emchannel.Apply(field, plan.SampleRate, emchannel.DefaultConfig(), rng)
+	cap := sdr.Acquire(field, plan.CenterFreqHz, sdr.DefaultConfig(), rng.Fork())
+
+	cfg := covert.DefaultRXConfig()
+	cfg.ExpectedF0 = prof.VRM.SwitchingFreqHz
+	cfg.MinBitPeriod = txCfg.BitPeriod() / 2
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			c := cfg
+			c.Parallelism = p
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				covert.Demodulate(cap, c)
+			}
+		})
 	}
 }
 

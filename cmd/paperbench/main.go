@@ -24,17 +24,20 @@ import (
 	"time"
 
 	"pmuleak/internal/core"
+	"pmuleak/internal/dsp"
 	"pmuleak/internal/experiments"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "CI-sized experiment scale")
-		only  = flag.String("only", "", "run a single experiment")
-		seed  = flag.Int64("seed", 2020, "experiment seed")
-		show  = flag.Bool("spectrograms", false, "render ASCII spectrograms for the figures")
+		quick    = flag.Bool("quick", false, "CI-sized experiment scale")
+		only     = flag.String("only", "", "run a single experiment")
+		seed     = flag.Int64("seed", 2020, "experiment seed")
+		show     = flag.Bool("spectrograms", false, "render ASCII spectrograms for the figures")
+		parallel = flag.Int("parallel", 0, "DSP worker count: 0 = all CPUs, 1 = serial, n = n workers (results are bit-identical either way)")
 	)
 	flag.Parse()
+	dsp.SetDefaultParallelism(*parallel)
 
 	scale := experiments.Full
 	if *quick {

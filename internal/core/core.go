@@ -128,6 +128,10 @@ type CovertConfig struct {
 	// Interleave sets the transmitter's block-interleave depth
 	// (values > 1 spread burst errors across codewords).
 	Interleave int
+	// Parallelism is the receiver's DSP worker count (0 = process
+	// default, 1 = serial). Parallel and serial paths are
+	// bit-identical, so it only affects wall-clock time.
+	Parallelism int
 }
 
 func (c *CovertConfig) fill(tb *Testbed) {
@@ -186,6 +190,7 @@ func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
 	rxCfg := covert.DefaultRXConfig()
 	rxCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
 	rxCfg.MinBitPeriod = txCfg.BitPeriod() / 2
+	rxCfg.Parallelism = cfg.Parallelism
 	if cfg.RXHarmonics > 0 {
 		rxCfg.NumHarmonics = cfg.RXHarmonics
 	}
@@ -254,6 +259,10 @@ type KeylogConfig struct {
 	// example a finer STFT window when keystroke timing precision
 	// matters more than runtime).
 	Detector *keylog.DetectorConfig
+	// Parallelism is the detector's DSP worker count (0 = process
+	// default, 1 = serial); nonzero values override the Detector
+	// config's own knob. Parallel and serial paths are bit-identical.
+	Parallelism int
 }
 
 // KeylogResult carries the Table IV metrics plus everything needed to
@@ -316,6 +325,9 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 		detCfg = *cfg.Detector
 	}
 	detCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
+	if cfg.Parallelism != 0 {
+		detCfg.Parallelism = cfg.Parallelism
+	}
 	det := keylog.Detect(cap, detCfg)
 
 	groups := keylog.GroupWords(det.Keystrokes, 0)

@@ -69,6 +69,51 @@ func FuzzFindPreamble(f *testing.F) {
 	})
 }
 
+// FuzzDemodulateParallelism round-trips the full demodulator over a
+// simulated capture under two arbitrary Parallelism settings and
+// asserts the decoded bits — and the recovered payload — are identical.
+// This is the fuzzing arm of the engine's bit-equivalence guarantee:
+// whatever worker counts the fuzzer picks, the receiver's output may
+// depend only on the capture.
+func FuzzDemodulateParallelism(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(4))
+	f.Add(int64(7), uint8(0), uint8(2))
+	f.Add(int64(42), uint8(8), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, p1, p2 uint8) {
+		cap, txCfg, _, prof := buildCapture(24, seed)
+		cfg := DefaultRXConfig()
+		cfg.ExpectedF0 = prof.VRM.SwitchingFreqHz
+		cfg.MinBitPeriod = txCfg.BitPeriod() / 2
+		run := func(p uint8) (*Demod, []byte, bool) {
+			c := cfg
+			c.Parallelism = int(p % 9) // 0 (auto) through 8 workers
+			d := Demodulate(cap, c)
+			payload, _, ok := d.RecoverPayload(txCfg)
+			return d, payload, ok
+		}
+		d1, pay1, ok1 := run(p1)
+		d2, pay2, ok2 := run(p2)
+		if len(d1.Bits) != len(d2.Bits) {
+			t.Fatalf("bit counts differ: %d vs %d (P=%d vs P=%d)",
+				len(d1.Bits), len(d2.Bits), p1%9, p2%9)
+		}
+		for i := range d1.Bits {
+			if d1.Bits[i] != d2.Bits[i] {
+				t.Fatalf("bit %d differs between P=%d and P=%d", i, p1%9, p2%9)
+			}
+		}
+		if ok1 != ok2 || len(pay1) != len(pay2) {
+			t.Fatalf("payload recovery diverged: ok %v/%v len %d/%d",
+				ok1, ok2, len(pay1), len(pay2))
+		}
+		for i := range pay1 {
+			if pay1[i] != pay2[i] {
+				t.Fatalf("payload bit %d differs", i)
+			}
+		}
+	})
+}
+
 func FuzzDecodePayload(f *testing.F) {
 	f.Add([]byte{1, 0, 1, 1, 0, 0, 1}, 0)
 	f.Add([]byte{}, 1)

@@ -38,6 +38,12 @@ type RXConfig struct {
 	// the PSD floor for the capture to be considered to contain a VRM
 	// carrier at all. Below it the demodulator reports no bits.
 	CarrierMinZ float64
+	// Parallelism is the DSP engine's worker count: 0 picks the process
+	// default (normally all CPUs), 1 forces the exact legacy serial
+	// path, n > 1 uses n workers. The engine's parallel paths are
+	// bit-identical to the serial ones, so this knob never changes the
+	// decoded bits — only the wall-clock time.
+	Parallelism int
 }
 
 // DefaultRXConfig mirrors the paper's receiver: 1024-point spectral
@@ -79,6 +85,9 @@ func (c RXConfig) Validate() error {
 	}
 	if c.CarrierMinZ <= 0 {
 		return fmt.Errorf("covert: CarrierMinZ must be positive")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("covert: negative Parallelism")
 	}
 	return nil
 }
@@ -130,7 +139,8 @@ func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 	// The Welch average shrinks the per-bin noise spread by the square
 	// root of the segment count, so even a spike well under twice the
 	// floor can be decisive; a robust z-score captures that.
-	psd := dsp.WelchPSD(cap.IQ, cfg.FFTSize)
+	eng := dsp.NewEngine(cfg.Parallelism)
+	psd := eng.WelchPSD(cap.IQ, cfg.FFTSize)
 	var spikePower float64
 	d.Offsets, spikePower = selectOffsets(psd, cap, cfg)
 	floor := dsp.Median(psd)
@@ -166,7 +176,7 @@ func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 	}
 	starts := detectEdges(d.Y, evenAtLeast(minPeriod/2), minPeriod, cfg, nil)
 	if len(starts) < 3 {
-		d.Conv = dsp.Convolve(d.Y, dsp.EdgeKernel(evenAtLeast(minPeriod/2)))
+		d.Conv = eng.Convolve(d.Y, dsp.EdgeKernel(evenAtLeast(minPeriod/2)))
 		return d
 	}
 
@@ -179,7 +189,7 @@ func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 
 	// 5. Second pass with the kernel matched to the measured period,
 	// then gap filling at multiples of the signaling time.
-	d.Conv = dsp.Convolve(d.Y, dsp.EdgeKernel(evenAtLeast(period/2)))
+	d.Conv = eng.Convolve(d.Y, dsp.EdgeKernel(evenAtLeast(period/2)))
 	starts = detectEdges(d.Y, evenAtLeast(period/2), period*6/10, cfg, d.Conv)
 	if len(starts) < 2 {
 		return d
@@ -337,7 +347,7 @@ func estimatePeriod(distances []float64, dt float64, minPeriod int) int {
 // produce phantom edges. A precomputed convolution may be passed in.
 func detectEdges(y []float64, kernelLen, minDist int, cfg RXConfig, conv []float64) []int {
 	if conv == nil {
-		conv = dsp.Convolve(y, dsp.EdgeKernel(kernelLen))
+		conv = dsp.NewEngine(cfg.Parallelism).Convolve(y, dsp.EdgeKernel(kernelLen))
 	}
 	peaks := dsp.FindPeaks(conv, minDist, 0)
 	if len(peaks) == 0 {

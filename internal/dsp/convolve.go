@@ -2,14 +2,28 @@ package dsp
 
 // Convolve computes the "same"-size linear convolution of x with kernel
 // k: the output has len(x) entries and output[i] is the kernel centered
-// at x[i]. Samples beyond the signal edges are treated as zero.
+// at x[i]. Samples beyond the signal edges are treated as zero; an
+// empty kernel or signal yields all zeros. This is the single-threaded
+// path; Engine.Convolve computes the bit-identical result on a worker
+// pool, and Engine.OverlapSave is the FFT-accelerated variant for
+// long kernels.
 func Convolve(x, k []float64) []float64 {
 	out := make([]float64, len(x))
 	if len(k) == 0 {
 		return out
 	}
+	convolveRange(out, x, k, 0, len(x))
+	return out
+}
+
+// convolveRange fills out[lo:hi] with the "same"-size convolution of x
+// and k. It is the shared inner loop of the serial and parallel paths:
+// because each output sample is an independent dot product evaluated in
+// the same order, any partition of [0, len(x)) reproduces the serial
+// result bit for bit.
+func convolveRange(out, x, k []float64, lo, hi int) {
 	half := len(k) / 2
-	for i := range x {
+	for i := lo; i < hi; i++ {
 		var sum float64
 		for j, kv := range k {
 			idx := i + j - half
@@ -19,7 +33,6 @@ func Convolve(x, k []float64) []float64 {
 		}
 		out[i] = sum
 	}
-	return out
 }
 
 // EdgeKernel returns the length-l derivative-mimicking kernel the paper

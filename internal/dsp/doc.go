@@ -7,4 +7,25 @@
 // receiver in the paper was MATLAB, and this package is its Go
 // equivalent. Functions operate on plain slices and never retain their
 // arguments, so callers are free to reuse buffers.
+//
+// # The parallel engine
+//
+// The hot transforms are available in two forms. The package-level
+// functions (FFT, STFT, WelchPSD, Convolve) are single-threaded and
+// preserved exactly as the original reference implementation behaved.
+// Engine wraps the same transforms with a worker pool sized by its
+// Parallelism knob (0 = all CPUs, 1 = serial, n = n goroutines) and a
+// per-size FFT plan cache (PlanFFT) that precomputes twiddle factors
+// and bit-reversal tables once per transform size.
+//
+// The engine's defining property is that parallelism never changes
+// results: frames, Welch segments, and convolution outputs are
+// independent units of identical arithmetic, and the one
+// order-sensitive reduction (the Welch segment average) is accumulated
+// in segment order after the parallel transforms finish. The
+// differential harness in engine_test.go pins this down — every
+// parallel output is required to be bit-identical to the serial one.
+// The single exception is Engine.OverlapSave, an FFT-accelerated
+// convolution whose rounding differs from the direct path at the
+// ~1e-15 relative level; decision-making consumers stay on Convolve.
 package dsp

@@ -1,0 +1,347 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultParallelism is the process-wide worker count used by engines
+// whose Parallelism field is zero. Zero here in turn means
+// runtime.NumCPU(). Stored atomically so tools can set it while
+// pipelines run on other goroutines.
+var defaultParallelism atomic.Int32
+
+// SetDefaultParallelism sets the worker count engines with Parallelism
+// == 0 resolve to: p == 0 restores the default (all CPUs), p == 1
+// forces the serial path everywhere the knob was left on auto, and
+// p > 1 pins a specific worker count. Negative values are treated as 0.
+func SetDefaultParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	defaultParallelism.Store(int32(p))
+}
+
+// DefaultParallelism reports the current process-wide default (0 =
+// runtime.NumCPU()).
+func DefaultParallelism() int { return int(defaultParallelism.Load()) }
+
+// Engine runs the package's frame-oriented transforms — STFT, Welch
+// averaging, and matched-filter convolution — across a pool of
+// goroutines. The zero value is an auto-sized engine.
+//
+// Every parallel path is bit-identical to the serial one: frames and
+// segments are transformed independently (each frame's FFT is the same
+// arithmetic regardless of which worker runs it), and the one
+// order-sensitive reduction (Welch's segment average) is accumulated in
+// segment order after the transforms complete. Consequently results
+// never depend on Parallelism, and an Engine is safe for concurrent use
+// from multiple goroutines.
+type Engine struct {
+	// Parallelism is the worker count: 0 resolves to the process
+	// default (normally all CPUs), 1 is the exact legacy serial path,
+	// and n > 1 fans work out across n goroutines.
+	Parallelism int
+}
+
+// NewEngine returns an engine with the given Parallelism knob
+// (0 = auto, 1 = serial).
+func NewEngine(parallelism int) Engine { return Engine{Parallelism: parallelism} }
+
+// workers resolves the Parallelism knob to a concrete worker count.
+func (e Engine) workers() int {
+	p := e.Parallelism
+	if p == 0 {
+		p = DefaultParallelism()
+	}
+	if p == 0 {
+		p = runtime.NumCPU()
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Chunks partitions [0, n) into at most workers() contiguous ranges and
+// runs fn on each, concurrently when the engine is parallel. fn must
+// not touch indices outside its range; under that contract the result
+// is identical to a single fn(0, n) call. It is the building block
+// consumers (e.g. the SDR front end) use for element-wise stages.
+func (e Engine) Chunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// STFT computes the same magnitude spectrogram as the package-level
+// STFT, fanning frames out across the worker pool. Each worker reuses
+// one scratch buffer for all of its frames and writes magnitudes into a
+// single preallocated backing array, so the steady state allocates
+// nothing per frame.
+func (e Engine) STFT(x []complex128, fftSize, hop int, window []float64, sampleRate float64) *Spectrogram {
+	if !IsPowerOfTwo(fftSize) {
+		panic(fmt.Sprintf("dsp: STFT fftSize %d not a power of two", fftSize))
+	}
+	if hop <= 0 {
+		panic("dsp: STFT hop must be positive")
+	}
+	if len(window) != fftSize {
+		panic("dsp: STFT window length must equal fftSize")
+	}
+	s := &Spectrogram{FFTSize: fftSize, Hop: hop, SampleRate: sampleRate}
+	frames := 0
+	if len(x) >= fftSize {
+		frames = (len(x)-fftSize)/hop + 1
+	}
+	if frames == 0 {
+		return s
+	}
+	plan := PlanFFT(fftSize)
+	w := e.workers()
+	if w > frames {
+		w = frames
+	}
+	if w == 1 {
+		buf := make([]complex128, fftSize)
+		for f := 0; f < frames; f++ {
+			start := f * hop
+			copy(buf, x[start:start+fftSize])
+			ApplyWindow(buf, window)
+			plan.Transform(buf)
+			s.Mag = append(s.Mag, Magnitudes(buf))
+		}
+		return s
+	}
+	flat := make([]float64, frames*fftSize)
+	s.Mag = make([][]float64, frames)
+	for f := range s.Mag {
+		s.Mag[f] = flat[f*fftSize : (f+1)*fftSize : (f+1)*fftSize]
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			buf := make([]complex128, fftSize)
+			for f := wk; f < frames; f += w {
+				start := f * hop
+				copy(buf, x[start:start+fftSize])
+				ApplyWindow(buf, window)
+				plan.Transform(buf)
+				row := s.Mag[f]
+				for i, v := range buf {
+					row[i] = cmplx.Abs(v)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return s
+}
+
+// welchBatchFactor bounds the scratch memory of the parallel Welch
+// path: per round, workers transform at most workers*welchBatchFactor
+// segments before the ordered accumulation drains them.
+const welchBatchFactor = 16
+
+// WelchPSD computes the same power spectral density as the
+// package-level WelchPSD. Segment transforms run on the worker pool;
+// the segment average is then accumulated in segment order, so the
+// output is bit-identical to the serial path for every Parallelism.
+func (e Engine) WelchPSD(x []complex128, fftSize int) []float64 {
+	if !IsPowerOfTwo(fftSize) {
+		panic(fmt.Sprintf("dsp: WelchPSD fftSize %d not a power of two", fftSize))
+	}
+	if fftSize < 2 {
+		// fftSize 1 would make the 50%-overlap hop zero; the historical
+		// implementation looped forever on it.
+		panic("dsp: WelchPSD fftSize must be >= 2")
+	}
+	window := Hann(fftSize)
+	hop := fftSize / 2
+	psd := make([]float64, fftSize)
+	segments := 0
+	if len(x) >= fftSize {
+		segments = (len(x)-fftSize)/hop + 1
+	}
+	if segments == 0 {
+		return psd
+	}
+	plan := PlanFFT(fftSize)
+	w := e.workers()
+	if w > segments {
+		w = segments
+	}
+	if w == 1 {
+		buf := make([]complex128, fftSize)
+		for seg := 0; seg < segments; seg++ {
+			copy(buf, x[seg*hop:seg*hop+fftSize])
+			ApplyWindow(buf, window)
+			plan.Transform(buf)
+			for i, v := range buf {
+				re, im := real(v), imag(v)
+				psd[i] += re*re + im*im
+			}
+		}
+		for i := range psd {
+			psd[i] /= float64(segments)
+		}
+		return psd
+	}
+	batch := w * welchBatchFactor
+	if batch > segments {
+		batch = segments
+	}
+	flat := make([]float64, batch*fftSize)
+	for base := 0; base < segments; base += batch {
+		nb := batch
+		if base+nb > segments {
+			nb = segments - base
+		}
+		var wg sync.WaitGroup
+		for wk := 0; wk < w; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				buf := make([]complex128, fftSize)
+				for k := wk; k < nb; k += w {
+					start := (base + k) * hop
+					copy(buf, x[start:start+fftSize])
+					ApplyWindow(buf, window)
+					plan.Transform(buf)
+					row := flat[k*fftSize : (k+1)*fftSize]
+					for i, v := range buf {
+						re, im := real(v), imag(v)
+						row[i] = re*re + im*im
+					}
+				}
+			}(wk)
+		}
+		wg.Wait()
+		// Ordered accumulation: segment k is always added after
+		// segment k-1, exactly as the serial loop does, so the
+		// floating-point sum is reproduced bit for bit.
+		for k := 0; k < nb; k++ {
+			row := flat[k*fftSize : (k+1)*fftSize]
+			for i := range psd {
+				psd[i] += row[i]
+			}
+		}
+	}
+	for i := range psd {
+		psd[i] /= float64(segments)
+	}
+	return psd
+}
+
+// Convolve computes the same "same"-size convolution as the
+// package-level Convolve, partitioning the output range across the
+// worker pool. Each output sample is an independent dot product, so the
+// result is bit-identical for every Parallelism.
+func (e Engine) Convolve(x, k []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(k) == 0 || len(x) == 0 {
+		return out
+	}
+	e.Chunks(len(x), func(lo, hi int) { convolveRange(out, x, k, lo, hi) })
+	return out
+}
+
+// OverlapSave computes the same quantity as Convolve by overlap-save
+// FFT block processing: O((n/L)·N log N) instead of O(n·k), a large win
+// once the kernel has more than a few dozen taps. Unlike the engine's
+// other methods its output is NOT bit-identical to the direct path —
+// the transform pair introduces rounding on the order of 1e-15 relative
+// to the output scale — which is why the receiver's decision paths stay
+// on Convolve and this entry point is for bulk analysis workloads.
+func (e Engine) OverlapSave(x, k []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(k) == 0 || len(x) == 0 {
+		return out
+	}
+	kl := len(k)
+	n := NextPowerOfTwo(4 * kl)
+	if n < 1024 {
+		n = 1024
+	}
+	if n > NextPowerOfTwo(len(x)+kl) {
+		n = NextPowerOfTwo(len(x) + kl)
+	}
+	blockLen := n - kl + 1 // valid linear-convolution outputs per block
+	plan := PlanFFT(n)
+	// Kernel spectrum, reversed so the block product computes
+	// out[i] = sum_j k[j]*x[i+j-half] (Convolve's indexing).
+	kf := make([]complex128, n)
+	for j, kv := range k {
+		kf[kl-1-j] = complex(kv, 0)
+	}
+	plan.Transform(kf)
+	half := kl / 2
+	off := kl - 1 - half
+	blocks := (len(x) + blockLen - 1) / blockLen
+	w := e.workers()
+	if w > blocks {
+		w = blocks
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			seg := make([]complex128, n)
+			for b := wk; b < blocks; b += w {
+				lo := b * blockLen
+				hi := lo + blockLen
+				if hi > len(x) {
+					hi = len(x)
+				}
+				// The block's first full-convolution index is lo+off;
+				// the segment feeding it starts kl-1 samples earlier.
+				base := lo + off - (kl - 1)
+				for t := 0; t < n; t++ {
+					if idx := base + t; idx >= 0 && idx < len(x) {
+						seg[t] = complex(x[idx], 0)
+					} else {
+						seg[t] = 0
+					}
+				}
+				plan.Transform(seg)
+				for t := range seg {
+					seg[t] *= kf[t]
+				}
+				plan.InverseTransform(seg)
+				for i := lo; i < hi; i++ {
+					out[i] = real(seg[i+off-base])
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return out
+}

@@ -12,7 +12,15 @@ func IsPowerOfTwo(n int) bool {
 	return n > 0 && n&(n-1) == 0
 }
 
-// NextPowerOfTwo returns the smallest power of two >= n (n must be > 0).
+// NextPowerOfTwo returns the smallest power of two >= n.
+//
+// Contract: n must be > 0; n <= 0 panics. Callers that can receive
+// degenerate sizes guard before calling — FFTReal returns an empty
+// spectrum for an empty signal, keylog.Detect reports no keystrokes
+// when the STFT window rounds to zero samples, and Engine.OverlapSave
+// returns zeros for an empty signal or kernel. (STFT and WelchPSD never
+// call it: they require the caller to pass a power-of-two size and
+// panic otherwise.)
 func NextPowerOfTwo(n int) int {
 	if n <= 0 {
 		panic("dsp: NextPowerOfTwo of non-positive n")
@@ -25,22 +33,10 @@ func NextPowerOfTwo(n int) int {
 
 // FFT computes the discrete Fourier transform of x in place using an
 // iterative radix-2 Cooley-Tukey algorithm. len(x) must be a power of
-// two. The transform is unnormalized: IFFT(FFT(x)) == x.
+// two. The transform is unnormalized: IFFT(FFT(x)) == x. The twiddle
+// and bit-reversal tables come from the per-size plan cache (PlanFFT),
+// so repeated transforms of one size pay the table cost once.
 func FFT(x []complex128) {
-	fftDir(x, false)
-}
-
-// IFFT computes the inverse DFT of x in place, including the 1/N
-// normalization.
-func IFFT(x []complex128) {
-	fftDir(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
-}
-
-func fftDir(x []complex128, inverse bool) {
 	n := len(x)
 	if n == 0 {
 		return
@@ -48,40 +44,29 @@ func fftDir(x []complex128, inverse bool) {
 	if !IsPowerOfTwo(n) {
 		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	if n == 1 {
+	PlanFFT(n).Transform(x)
+}
+
+// IFFT computes the inverse DFT of x in place, including the 1/N
+// normalization.
+func IFFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
 		return
 	}
-	for i := 1; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
 	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= step
-			}
-		}
-	}
+	PlanFFT(n).InverseTransform(x)
 }
 
 // FFTReal transforms a real signal, returning the full complex spectrum
-// of length NextPowerOfTwo(len(x)) with zero padding.
+// of length NextPowerOfTwo(len(x)) with zero padding. An empty signal
+// yields an empty spectrum.
 func FFTReal(x []float64) []complex128 {
+	if len(x) == 0 {
+		return nil
+	}
 	n := NextPowerOfTwo(len(x))
 	out := make([]complex128, n)
 	for i, v := range x {

@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// FFTPlan holds the precomputed tables for one radix-2 transform size:
+// the bit-reversal permutation and the per-stage twiddle factors for
+// both transform directions. Building a plan costs O(n log n); applying
+// it avoids re-deriving those tables on every call, which is where the
+// receiver's STFT loops spend a large share of their time.
+//
+// The twiddle tables are generated with the exact iterative recurrence
+// the direct implementation used (w[0] = 1, w[k+1] = w[k]*step), so a
+// plan-based transform is bit-identical to the historical FFT/IFFT
+// output, not merely close.
+//
+// A plan is immutable after construction and safe for concurrent use by
+// any number of goroutines.
+type FFTPlan struct {
+	n     int
+	pairs [][2]int32     // bit-reversal swaps, stored once with i < j
+	fwd   [][]complex128 // fwd[s]: stage-(2<<s) twiddles, forward
+	inv   [][]complex128 // inv[s]: same, inverse
+}
+
+// planCache maps transform size -> *FFTPlan. Plans are tiny relative to
+// the signals they transform and sizes form a small working set (one or
+// two per pipeline), so entries are never evicted.
+var planCache sync.Map
+
+// PlanFFT returns the shared transform plan for size n, computing and
+// caching it on first use. n must be a positive power of two; anything
+// else panics, mirroring FFT's own contract.
+func PlanFFT(n int) *FFTPlan {
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: PlanFFT size %d is not a power of two", n))
+	}
+	if p, ok := planCache.Load(n); ok {
+		return p.(*FFTPlan)
+	}
+	p, _ := planCache.LoadOrStore(n, newFFTPlan(n))
+	return p.(*FFTPlan)
+}
+
+func newFFTPlan(n int) *FFTPlan {
+	p := &FFTPlan{n: n}
+	if n == 1 {
+		return p
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			p.pairs = append(p.pairs, [2]int32{int32(i), int32(j)})
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		fw := make([]complex128, half)
+		iv := make([]complex128, half)
+		stepF := cmplx.Exp(complex(0, -1.0*2*math.Pi/float64(size)))
+		stepI := cmplx.Exp(complex(0, 1.0*2*math.Pi/float64(size)))
+		wf, wi := complex(1, 0), complex(1, 0)
+		for k := 0; k < half; k++ {
+			fw[k], iv[k] = wf, wi
+			wf *= stepF
+			wi *= stepI
+		}
+		p.fwd = append(p.fwd, fw)
+		p.inv = append(p.inv, iv)
+	}
+	return p
+}
+
+// Size reports the transform length the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Transform computes the forward DFT of x in place. len(x) must equal
+// the plan size.
+func (p *FFTPlan) Transform(x []complex128) { p.apply(x, p.fwd) }
+
+// InverseTransform computes the inverse DFT of x in place, including
+// the 1/N normalization.
+func (p *FFTPlan) InverseTransform(x []complex128) {
+	p.apply(x, p.inv)
+	n := complex(float64(p.n), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func (p *FFTPlan) apply(x []complex128, tw [][]complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: FFTPlan size %d applied to length %d", p.n, len(x)))
+	}
+	for _, pr := range p.pairs {
+		x[pr[0]], x[pr[1]] = x[pr[1]], x[pr[0]]
+	}
+	for s, stage := range tw {
+		size := 2 << uint(s)
+		half := size >> 1
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * stage[k]
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+	"testing"
+
+	"pmuleak/internal/xrand"
+)
+
+// legacyFFT is a frozen copy of the pre-plan iterative radix-2
+// implementation. The plan cache is required to reproduce its output
+// bit for bit — not approximately — because the serial receiver path is
+// defined as "whatever the original implementation computed".
+func legacyFFT(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+}
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := xrand.New(seed)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Normal(0, 1), rng.Normal(0, 1))
+	}
+	return x
+}
+
+func complexBitEqual(t *testing.T, label string, got, want []complex128) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(real(got[i])) != math.Float64bits(real(want[i])) ||
+			math.Float64bits(imag(got[i])) != math.Float64bits(imag(want[i])) {
+			t.Fatalf("%s: sample %d differs: %v != %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func floatBitEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: sample %d differs: %v != %v (delta %g)",
+				label, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+func TestPlanFFTBitIdenticalToLegacy(t *testing.T) {
+	for n := 1; n <= 4096; n <<= 1 {
+		x := randComplex(n, int64(n))
+		want := append([]complex128(nil), x...)
+		legacyFFT(want, false)
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		complexBitEqual(t, fmt.Sprintf("FFT n=%d", n), got, want)
+
+		wantInv := append([]complex128(nil), x...)
+		legacyFFT(wantInv, true)
+		nn := complex(float64(n), 0)
+		for i := range wantInv {
+			wantInv[i] /= nn
+		}
+		gotInv := append([]complex128(nil), x...)
+		IFFT(gotInv)
+		complexBitEqual(t, fmt.Sprintf("IFFT n=%d", n), gotInv, wantInv)
+	}
+}
+
+func TestPlanFFTRoundTrip(t *testing.T) {
+	x := randComplex(1024, 9)
+	y := append([]complex128(nil), x...)
+	FFT(y)
+	IFFT(y)
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-10 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestPlanFFTRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{-4, 0, 3, 12, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PlanFFT(%d) did not panic", n)
+				}
+			}()
+			PlanFFT(n)
+		}()
+	}
+	// Applying a plan to the wrong length must panic too.
+	defer func() {
+		if recover() == nil {
+			t.Error("Transform on wrong length did not panic")
+		}
+	}()
+	PlanFFT(8).Transform(make([]complex128, 4))
+}
+
+// TestPlanCacheConcurrent hammers the plan cache from 16 goroutines
+// across a spread of sizes while transforming, and checks every result
+// against the serial reference. Run under -race this covers the
+// lock-free read path and the LoadOrStore insertion race.
+func TestPlanCacheConcurrent(t *testing.T) {
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	want := make(map[int][]complex128)
+	for _, n := range sizes {
+		x := randComplex(n, int64(100+n))
+		legacyFFT(x, false)
+		want[n] = x
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				for _, n := range sizes {
+					x := randComplex(n, int64(100+n))
+					PlanFFT(n).Transform(x)
+					for i := range x {
+						if x[i] != want[n][i] {
+							errs <- fmt.Errorf("goroutine %d: n=%d sample %d: %v != %v",
+								g, n, i, x[i], want[n][i])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestNextPowerOfTwoContract(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, out := range cases {
+		if got := NextPowerOfTwo(in); got != out {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, out)
+		}
+	}
+	for _, bad := range []int{0, -1, -1024} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NextPowerOfTwo(%d) did not panic", bad)
+				}
+			}()
+			NextPowerOfTwo(bad)
+		}()
+	}
+}
+
+// TestNextPowerOfTwoCallSitesGuarded exercises the call sites that used
+// to be able to reach the panic with degenerate inputs.
+func TestNextPowerOfTwoCallSitesGuarded(t *testing.T) {
+	if got := FFTReal(nil); len(got) != 0 {
+		t.Fatalf("FFTReal(nil) returned %d bins", len(got))
+	}
+	if got := FFTReal([]float64{}); len(got) != 0 {
+		t.Fatalf("FFTReal(empty) returned %d bins", len(got))
+	}
+	if got := FFTReal([]float64{1, 2, 3}); len(got) != 4 {
+		t.Fatalf("FFTReal(3 samples) returned %d bins, want 4", len(got))
+	}
+	// OverlapSave guards both operands before sizing its transform.
+	if got := (Engine{Parallelism: 2}).OverlapSave(nil, []float64{1}); len(got) != 0 {
+		t.Fatal("OverlapSave with empty signal not guarded")
+	}
+	if got := (Engine{Parallelism: 2}).OverlapSave([]float64{1, 2}, nil); len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatal("OverlapSave with empty kernel not guarded")
+	}
+}

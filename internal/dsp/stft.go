@@ -59,57 +59,22 @@ func (s *Spectrogram) BandEnergy(bins []int) []float64 {
 
 // STFT computes a magnitude spectrogram of the complex signal x with the
 // given FFT size, hop, and window (len(window) must equal fftSize).
-// Frames that would run past the end of x are dropped.
+// Frames that would run past the end of x are dropped; a signal shorter
+// than fftSize (including an empty one) yields a spectrogram with zero
+// frames. This is the single-threaded path; Engine.STFT computes the
+// bit-identical result on a worker pool.
 func STFT(x []complex128, fftSize, hop int, window []float64, sampleRate float64) *Spectrogram {
-	if !IsPowerOfTwo(fftSize) {
-		panic(fmt.Sprintf("dsp: STFT fftSize %d not a power of two", fftSize))
-	}
-	if hop <= 0 {
-		panic("dsp: STFT hop must be positive")
-	}
-	if len(window) != fftSize {
-		panic("dsp: STFT window length must equal fftSize")
-	}
-	var frames [][]float64
-	buf := make([]complex128, fftSize)
-	for start := 0; start+fftSize <= len(x); start += hop {
-		copy(buf, x[start:start+fftSize])
-		ApplyWindow(buf, window)
-		FFT(buf)
-		frames = append(frames, Magnitudes(buf))
-	}
-	return &Spectrogram{Mag: frames, FFTSize: fftSize, Hop: hop, SampleRate: sampleRate}
+	return Engine{Parallelism: 1}.STFT(x, fftSize, hop, window, sampleRate)
 }
 
 // WelchPSD estimates the power spectral density of x by averaging the
 // power spectra of Hann-windowed segments with 50% overlap. It returns
-// one value per FFT bin. The receiver uses it to locate the VRM carrier
-// before demodulation.
+// one value per FFT bin; a signal shorter than fftSize yields all
+// zeros. The receiver uses it to locate the VRM carrier before
+// demodulation. This is the single-threaded path; Engine.WelchPSD
+// computes the bit-identical result on a worker pool.
 func WelchPSD(x []complex128, fftSize int) []float64 {
-	if !IsPowerOfTwo(fftSize) {
-		panic(fmt.Sprintf("dsp: WelchPSD fftSize %d not a power of two", fftSize))
-	}
-	window := Hann(fftSize)
-	hop := fftSize / 2
-	psd := make([]float64, fftSize)
-	buf := make([]complex128, fftSize)
-	segments := 0
-	for start := 0; start+fftSize <= len(x); start += hop {
-		copy(buf, x[start:start+fftSize])
-		ApplyWindow(buf, window)
-		FFT(buf)
-		for i, v := range buf {
-			re, im := real(v), imag(v)
-			psd[i] += re*re + im*im
-		}
-		segments++
-	}
-	if segments > 0 {
-		for i := range psd {
-			psd[i] /= float64(segments)
-		}
-	}
-	return psd
+	return Engine{Parallelism: 1}.WelchPSD(x, fftSize)
 }
 
 // WriteCSV emits the spectrogram as CSV: a header row of bin center

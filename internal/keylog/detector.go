@@ -33,6 +33,12 @@ type DetectorConfig struct {
 	// this duration, following the VRM clock's slow thermal drift over
 	// multi-minute captures. Zero uses a single static band.
 	TrackBlock sim.Time
+	// Parallelism is the DSP engine's worker count: 0 picks the process
+	// default (normally all CPUs), 1 forces the exact legacy serial
+	// path, n > 1 uses n workers. The engine's parallel STFT is
+	// bit-identical to the serial one, so this knob never changes which
+	// keystrokes are detected — only the wall-clock time.
+	Parallelism int
 }
 
 // DefaultDetectorConfig mirrors the paper's settings.
@@ -63,6 +69,9 @@ func (c DetectorConfig) Validate() error {
 	}
 	if c.TrackBlock < 0 {
 		return fmt.Errorf("keylog: negative TrackBlock")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("keylog: negative Parallelism")
 	}
 	return nil
 }
@@ -100,12 +109,18 @@ func Detect(cap *sdr.Capture, cfg DetectorConfig) *Detection {
 	}
 	det := &Detection{}
 	windowSamples := int(cfg.Window.Seconds() * cap.SampleRate)
+	if windowSamples < 1 {
+		// The STFT window rounds to zero samples (NextPowerOfTwo would
+		// panic): the capture cannot resolve the configured window, so
+		// there is nothing to detect.
+		return det
+	}
 	fftSize := dsp.NextPowerOfTwo(windowSamples)
 	if fftSize > len(cap.IQ) {
 		return det
 	}
 	// Non-overlapping windows: hop = fftSize.
-	s := dsp.STFT(cap.IQ, fftSize, fftSize, dsp.Hann(fftSize), cap.SampleRate)
+	s := dsp.NewEngine(cfg.Parallelism).STFT(cap.IQ, fftSize, fftSize, dsp.Hann(fftSize), cap.SampleRate)
 	det.FrameDT = float64(fftSize) / cap.SampleRate
 
 	// Band selection: start around the expected spike (or the

@@ -9,7 +9,9 @@ package sdr
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"pmuleak/internal/dsp"
 	"pmuleak/internal/xrand"
 )
 
@@ -47,6 +49,13 @@ type Config struct {
 	// IQImbalanceFrac is the gain mismatch between the I and Q paths;
 	// it mirrors every signal faintly across zero frequency.
 	IQImbalanceFrac float64
+	// Parallelism is the worker count for the deterministic receiver
+	// stages (AGC scaling, DC offset, quantization): 0 picks the
+	// process default, 1 forces the serial path. The noise stage stays
+	// serial regardless — it consumes the random stream in sample
+	// order — and the parallel stages are element-wise, so the knob
+	// never changes the capture.
+	Parallelism int
 }
 
 // DefaultConfig returns an RTL-SDR v3 at its maximum stable rate.
@@ -81,6 +90,9 @@ func (c Config) Validate() error {
 	}
 	if c.IQImbalanceFrac < 0 || c.IQImbalanceFrac > 0.2 {
 		return fmt.Errorf("sdr: IQImbalanceFrac %v out of range [0,0.2]", c.IQImbalanceFrac)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("sdr: negative Parallelism")
 	}
 	return nil
 }
@@ -120,7 +132,10 @@ func Acquire(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Sourc
 		}
 	}
 	// AGC: single measurement over the capture (the RTL's gain is set
-	// once per tuning in practice).
+	// once per tuning in practice). The RMS sum stays serial — it is an
+	// order-sensitive float reduction — while the gain application and
+	// the quantizer below are element-wise and run on the worker pool.
+	eng := dsp.NewEngine(cfg.Parallelism)
 	if cfg.AGCTargetRMS > 0 {
 		var sum float64
 		for _, v := range out {
@@ -129,24 +144,32 @@ func Acquire(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Sourc
 		rms := math.Sqrt(sum / math.Max(1, float64(len(out))))
 		if rms > 0 {
 			agc := cfg.AGCTargetRMS / rms
-			for i := range out {
-				out[i] *= complex(agc, 0)
-			}
+			eng.Chunks(len(out), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] *= complex(agc, 0)
+				}
+			})
 		}
 	}
 	cap := &Capture{SampleRate: cfg.SampleRate, CenterFreqHz: centerFreqHz}
 	levels := float64(int(1) << (cfg.Bits - 1)) // e.g. 128 for 8-bit
-	for i := range out {
-		if cfg.DCOffset > 0 {
-			out[i] += complex(cfg.DCOffset, 0)
+	var clipped atomic.Int64
+	eng.Chunks(len(out), func(lo, hi int) {
+		var clips int64
+		for i := lo; i < hi; i++ {
+			if cfg.DCOffset > 0 {
+				out[i] += complex(cfg.DCOffset, 0)
+			}
+			re, cr := quantize(real(out[i]), levels)
+			im, ci := quantize(imag(out[i]), levels)
+			if cr || ci {
+				clips++
+			}
+			out[i] = complex(re, im)
 		}
-		re, cr := quantize(real(out[i]), levels)
-		im, ci := quantize(imag(out[i]), levels)
-		if cr || ci {
-			cap.Clipped++
-		}
-		out[i] = complex(re, im)
-	}
+		clipped.Add(clips)
+	})
+	cap.Clipped = int(clipped.Load())
 	cap.IQ = out
 	return cap
 }
