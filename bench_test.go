@@ -10,6 +10,7 @@ package pmuleak
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"pmuleak/internal/core"
@@ -20,6 +21,7 @@ import (
 	"pmuleak/internal/laptop"
 	"pmuleak/internal/sdr"
 	"pmuleak/internal/sim"
+	"pmuleak/internal/sweep"
 	"pmuleak/internal/xrand"
 )
 
@@ -444,5 +446,75 @@ func BenchmarkStageAlignment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = covert.Measure(&covert.TxRun{Bits: tx, End: sim.Second},
 			&covert.Demod{Bits: rx}, covert.DefaultTXConfig(100*sim.Microsecond), nil)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Experiment orchestrator (internal/sweep) benches.
+
+// BenchmarkTable3Orchestrated runs the Table III distance sweep through
+// the cell orchestrator at several worker counts, with the
+// transmitter-trace cache on and off. The rows are bit-identical across
+// every sub-benchmark (the sweep contract); allocation reporting makes
+// the pooled-buffer savings visible. Note the Table III cells use
+// distinct seeds, so the cache helps only via RateSearch re-attempts
+// within a cell, not across cells.
+func BenchmarkTable3Orchestrated(b *testing.B) {
+	for _, jobs := range []int{1, runtime.NumCPU()} {
+		for _, cache := range []bool{false, true} {
+			b.Run(fmt.Sprintf("jobs=%d/cache=%v", jobs, cache), func(b *testing.B) {
+				sweep.SetDefaultJobs(jobs)
+				core.SetTraceCacheEnabled(cache)
+				b.Cleanup(func() {
+					sweep.SetDefaultJobs(0)
+					core.SetTraceCacheEnabled(true)
+					core.ResetTraceCache()
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.ResetTraceCache()
+					experiments.TableIII(7, benchScale)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationsTraceCache isolates the memoization win: the
+// receiver-ablation sweep runs the same transmitter configurations
+// twice (|S|=2 and |S|=1 groups share seeds), so with the cache on the
+// second group replays instead of re-simulating.
+func BenchmarkAblationsTraceCache(b *testing.B) {
+	for _, cache := range []bool{false, true} {
+		b.Run(fmt.Sprintf("cache=%v", cache), func(b *testing.B) {
+			sweep.SetDefaultJobs(1)
+			core.SetTraceCacheEnabled(cache)
+			b.Cleanup(func() {
+				sweep.SetDefaultJobs(0)
+				core.SetTraceCacheEnabled(true)
+				core.ResetTraceCache()
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ResetTraceCache()
+				experiments.ReceiverAblations(18, benchScale)
+			}
+		})
+	}
+}
+
+// BenchmarkSweepOverhead measures the orchestrator's own cost on
+// trivial cells — the fan-out must be cheap enough to be free next to
+// any real simulation cell.
+func BenchmarkSweepOverhead(b *testing.B) {
+	for _, jobs := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sweep.MapJobs(jobs, 64, func(c int) int { return c * c })
+			}
+		})
 	}
 }

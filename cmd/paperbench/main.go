@@ -8,12 +8,18 @@
 //
 //	paperbench              # everything, at full scale
 //	paperbench -quick       # CI-sized runs
-//	paperbench -only table2 # one experiment: fig2, sec3, pipeline,
-//	                        # fig8, table2, background, fig9, table3,
-//	                        # nlos, fig11, table4, countermeasures,
-//	                        # fingerprint, multicore, utilization,
-//	                        # dictionary, waterfall, sleepfloor,
-//	                        # ablations
+//	paperbench -only table2 # one experiment; an unknown name exits
+//	                        # non-zero and lists the valid names (the
+//	                        # list lives in the experiment registry,
+//	                        # cmd/paperbench/registry.go)
+//	paperbench -jobs 4      # experiment-cell worker count
+//
+// Experiments run on the internal/sweep orchestrator: independent
+// (laptop × run × sweep-point) cells fan out across -jobs workers, and
+// sweeps that differ only receiver-side replay memoized transmitter
+// traces (-tracecache). Reports are byte-identical for every -jobs /
+// -tracecache setting; timing and cache statistics go to stderr so
+// stdout stays comparable.
 package main
 
 import (
@@ -26,223 +32,60 @@ import (
 	"pmuleak/internal/core"
 	"pmuleak/internal/dsp"
 	"pmuleak/internal/experiments"
+	"pmuleak/internal/sweep"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "CI-sized experiment scale")
-		only     = flag.String("only", "", "run a single experiment")
-		seed     = flag.Int64("seed", 2020, "experiment seed")
-		show     = flag.Bool("spectrograms", false, "render ASCII spectrograms for the figures")
-		parallel = flag.Int("parallel", 0, "DSP worker count: 0 = all CPUs, 1 = serial, n = n workers (results are bit-identical either way)")
+		quick      = flag.Bool("quick", false, "CI-sized experiment scale")
+		only       = flag.String("only", "", "run a single experiment: "+strings.Join(registryNames(), ", "))
+		seed       = flag.Int64("seed", 2020, "experiment seed")
+		show       = flag.Bool("spectrograms", false, "render ASCII spectrograms for the figures")
+		parallel   = flag.Int("parallel", 0, "DSP worker count: 0 = all CPUs, 1 = serial, n = n workers (results are bit-identical either way)")
+		jobs       = flag.Int("jobs", 0, "experiment-cell worker count: 0 = all CPUs, 1 = exact legacy serial (results are bit-identical either way)")
+		tracecache = flag.Bool("tracecache", true, "memoize transmitter traces across receiver-side sweeps (results are bit-identical either way)")
+		stats      = flag.Bool("stats", true, "report per-experiment wall time and trace-cache hits/misses on stderr")
 	)
 	flag.Parse()
 	dsp.SetDefaultParallelism(*parallel)
+	sweep.SetDefaultJobs(*jobs)
+	core.SetTraceCacheEnabled(*tracecache)
 
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
 	}
-	want := func(name string) bool {
-		return *only == "" || strings.EqualFold(*only, name)
-	}
-	start := time.Now()
 
-	if want("fig2") {
-		fmt.Print(experiments.Banner("Fig. 2 — micro-benchmark spectrogram"))
-		res := experiments.Fig2(*seed)
-		fmt.Printf("paper   : strong/weak spike alternation at ~970 kHz; harmonics present\n")
-		fmt.Printf("measured: fundamental %.0f kHz, active/idle spike ratio %.1fx, "+
-			"fundamental %.1fx the first harmonic\n",
-			res.FundamentalKHz, res.SpikeOnOffRatio, res.HarmonicRatio)
-		if *show {
-			core.RenderSpectrogram(os.Stdout, res.Spectrogram, 20, 100)
-		}
-	}
-
-	if want("sec3") {
-		fmt.Print(experiments.Banner("§III — P-/C-state ablation"))
-		fmt.Printf("paper   : signal persists with either mechanism; disappears (constant strong\n")
-		fmt.Printf("          carrier) only when both are disabled\n")
-		for _, r := range experiments.Sec3Ablation(*seed) {
-			fmt.Printf("measured: %-14s on/off ratio %6.1fx, idle spike strength %.3g\n",
-				r.Name, r.SpikeOnOffRatio, r.MeanSpikeStrength)
-		}
-	}
-
-	if want("pipeline") {
-		fmt.Print(experiments.Banner("Figs. 4-7 — receiver pipeline internals"))
-		res := experiments.Pipeline(*seed, scale)
-		fmt.Printf("Fig. 4  : acquisition trace of %d samples, sharp rise at each bit\n",
-			res.AcquisitionLen)
-		fmt.Printf("Fig. 5  : %d bit starts detected for %d transmitted bits\n",
-			res.DetectedStarts, res.TxBits)
-		fmt.Printf("Fig. 6  : median signaling time %.1f µs, Rayleigh sigma %.1f µs, "+
-			"skew %+.2f (paper: positively skewed, Rayleigh-like)\n",
-			1e6*res.MedianPulseWidth, 1e6*res.RayleighSigma, res.PulseWidthSkew)
-		fmt.Printf("Fig. 7  : power modes %.3g / %.3g, threshold %.3g in the valley\n",
-			res.PowerModeLow, res.PowerModeHigh, res.Threshold)
-	}
-
-	if want("fig8") {
-		fmt.Print(experiments.Banner("Fig. 8 — bit deletion/insertion"))
-		res := experiments.Fig8(*seed, scale)
-		fmt.Printf("paper   : deletion probability < 0.2%% (quiet), corrected by parity\n")
-		fmt.Printf("measured: quiet  IP=%.1e DP=%.1e\n",
-			res.Quiet.InsertionProb(), res.Quiet.DeletionProb())
-		fmt.Printf("measured: loaded IP=%.1e DP=%.1e\n",
-			res.Loaded.InsertionProb(), res.Loaded.DeletionProb())
-	}
-
-	if want("table2") {
-		fmt.Print(experiments.Banner("Table II — near-field, six laptops"))
-		paper := map[string]string{
-			"Dell Precision 7290":   "BER=2e-3  TR= 982",
-			"MacBookPro-2015":       "BER=3e-2  TR=3700",
-			"Dell Inspiron 15-3537": "BER=8e-3  TR=3162",
-			"MacBookPro-2018":       "BER=2.8e-2 TR=3640",
-			"Lenovo Thinkpad":       "BER=5e-3  TR=3020",
-			"Sony Ultrabook":        "BER=4e-3  TR= 974",
-		}
-		for _, r := range experiments.TableII(*seed, scale) {
-			fmt.Printf("measured: %v   (paper: %s)\n", r, paper[r.Model])
-		}
-	}
-
-	if want("background") {
-		fmt.Print(experiments.Banner("§IV-C2 — background activity"))
-		quiet, loaded := experiments.BackgroundLoadTRDrop(*seed, scale)
-		drop := 0.0
-		if quiet > 0 {
-			drop = 100 * (quiet - loaded) / quiet
-		}
-		fmt.Printf("paper   : TR reduced ~15%% (worst 21%%) to hold BER under load\n")
-		fmt.Printf("measured: %.0f bps quiet -> %.0f bps loaded (%.0f%% reduction)\n",
-			quiet, loaded, drop)
-	}
-
-	if want("fig9") {
-		fmt.Print(experiments.Banner("Fig. 9 — rate comparison with prior work"))
-		res := experiments.Fig9(*seed, scale)
-		for _, b := range res.Baselines {
-			fmt.Printf("measured: %v\n", b)
-		}
-		fmt.Printf("measured: %-10s %8.0f bps (this work)\n", "Proposed", res.Proposed)
-		fmt.Printf("paper   : proposed >3x the fastest prior channel (GSMem); measured %.1fx\n",
-			res.Speedup())
-	}
-
-	if want("table3") {
-		fmt.Print(experiments.Banner("Table III — distance sweep (loop antenna)"))
-		paper := map[float64]string{1.0: "TR 1872/1645", 1.5: "TR 1454", 2.5: "TR 1110"}
-		for _, r := range experiments.TableIII(*seed, scale) {
-			fmt.Printf("measured: %v   (paper: %s)\n", r, paper[r.DistanceM])
-		}
-	}
-
-	if want("nlos") {
-		fmt.Print(experiments.Banner("§IV-C3 — through the wall (Fig. 10 office)"))
-		r := experiments.NLoS(*seed, scale)
-		fmt.Printf("paper   : 821 bps at BER 6e-3 through a 35 cm wall with interferers\n")
-		fmt.Printf("measured: %v (ok=%v)\n", r, r.OK)
-	}
-
-	if want("fig11") {
-		fmt.Print(experiments.Banner("Fig. 11 — keystroke spectrogram"))
-		res := experiments.Fig11(*seed)
-		fmt.Printf("paper   : every character of %q visible as a distinct burst\n", res.Text)
-		fmt.Printf("measured: %d bursts for %d keystrokes\n", res.DistinctBursts, res.Keystrokes)
-		if *show {
-			core.RenderSpectrogram(os.Stdout, res.Spectrogram, 16, 100)
-		}
-	}
-
-	if want("table4") {
-		fmt.Print(experiments.Banner("Table IV — keylogging accuracy"))
-		paper := map[string]string{
-			"10cm":      "TPR 100%  FPR 3.0%  Prec 71%  Recall 100%",
-			"2m":        "TPR  99%  FPR 1.8%  Prec 70%  Recall 100%",
-			"1.5m+wall": "TPR  97%  FPR 0.7%  Prec 70%  Recall  98%",
-		}
-		for _, r := range experiments.TableIV(*seed, scale) {
-			fmt.Printf("measured: %v\n          (paper: %s)\n", r, paper[r.Placement])
-		}
-	}
-
-	if want("countermeasures") {
-		fmt.Print(experiments.Banner("§VI — countermeasures (measured extension)"))
-		fmt.Printf("paper   : proposes disabling P/C-states, PMU randomness, EMI shielding\n")
-		for _, o := range experiments.Countermeasures(*seed, scale) {
-			fmt.Printf("measured: %v\n", o)
-		}
-	}
-
-	if want("fingerprint") {
-		fmt.Print(experiments.Banner("§III (ii-b) — task fingerprinting (measured extension)"))
-		res := experiments.Fingerprint(*seed, scale)
-		fmt.Printf("paper   : activity duration can identify which website was loaded\n")
-		fmt.Printf("measured: %d-class page-load identification: %.0f%% near-field, %.0f%% at 2 m\n",
-			res.Classes, 100*res.NearAccuracy, 100*res.FarAccuracy)
-	}
-
-	if want("multicore") {
-		fmt.Print(experiments.Banner("Multi-core isolation (measured extension)"))
-		res := experiments.MultiCoreIsolation(*seed, scale)
-		fmt.Printf("claim   : pinning other work to another core does NOT hide it from the VRM\n")
-		fmt.Printf("measured: err quiet=%.1e  hog-same-core=%.1e  hog-other-core=%.1e\n",
-			res.QuietErr, res.SameCoreErr, res.CrossCoreErr)
-	}
-
-	if want("utilization") {
-		fmt.Print(experiments.Banner("Utilization inference (measured extension)"))
-		res := experiments.UtilizationLeak(*seed)
-		fmt.Printf("claim   : with Speed-Shift-style DVFS, emission amplitude tracks utilization\n")
-		fmt.Printf("measured: duty ")
-		for _, d := range res.Duty {
-			fmt.Printf("%4.0f%% ", 100*d)
-		}
-		fmt.Printf("-> amplitude ")
-		for _, a := range res.Amplitude {
-			fmt.Printf("%.2f ", a)
-		}
-		fmt.Printf("(monotone=%v)\n", res.Monotone())
-	}
-
-	if want("dictionary") {
-		fmt.Print(experiments.Banner("SV-B dictionary attack (measured extension)"))
-		res := experiments.Dictionary(*seed, scale)
-		fmt.Printf("claim   : word length + inter-key timing identify dictionary words\n")
-		fmt.Printf("measured: %d words, top-1 %.0f%%, top-3 %.0f%%, mean %.0f same-length candidates\n",
-			res.Words, 100*res.Top1Rate(), 100*res.Top3Rate(), res.MeanCands)
-	}
-
-	if want("waterfall") {
-		fmt.Print(experiments.Banner("Noise waterfall (validation)"))
-		fmt.Printf("claim   : achievable rate falls gracefully as the noise floor rises\n")
-		for _, pt := range experiments.Waterfall(*seed, scale) {
-			if pt.OK {
-				fmt.Printf("measured: noise sigma %.3f -> %4.0f bps (err %.1e)\n",
-					pt.NoiseSigma, pt.Rate, pt.ErrorRate)
-			} else {
-				fmt.Printf("measured: noise sigma %.3f -> link dead\n", pt.NoiseSigma)
+	specs := registry()
+	if *only != "" {
+		known := false
+		for _, s := range specs {
+			if strings.EqualFold(*only, s.Name) {
+				known = true
+				break
 			}
 		}
-	}
-
-	if want("sleepfloor") {
-		fmt.Print(experiments.Banner("SIV-A - the SLEEP_PERIOD floor"))
-		fmt.Printf("paper   : ~10us is the limit below which usleep becomes highly variable\n")
-		for _, pt := range experiments.SleepFloor(*seed, scale) {
-			fmt.Printf("measured: sleep %6v -> jitter CV %.2f, %5.0f bps at err %.2e\n",
-				pt.SleepPeriod, pt.JitterCV, pt.Rate, pt.ErrorRate)
+		if !known {
+			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\nvalid names: %s\n",
+				*only, strings.Join(registryNames(), ", "))
+			os.Exit(2)
 		}
 	}
 
-	if want("ablations") {
-		fmt.Print(experiments.Banner("Receiver design ablations"))
-		for _, a := range experiments.ReceiverAblations(*seed, scale) {
-			fmt.Printf("measured: %-40s with=%.3g without=%.3g (%s)\n",
-				a.Name, a.With, a.Without, a.Comment)
+	rc := runContext{Seed: *seed, Scale: scale, Show: *show}
+	start := time.Now()
+	for _, s := range specs {
+		if *only != "" && !strings.EqualFold(*only, s.Name) {
+			continue
+		}
+		expStart := time.Now()
+		hits0, misses0 := core.TraceCacheStats()
+		s.Run(os.Stdout, rc)
+		if *stats {
+			hits, misses := core.TraceCacheStats()
+			fmt.Fprintf(os.Stderr, "# %-15s %8v  trace-cache +%d hits +%d misses\n",
+				s.Name, time.Since(expStart).Round(time.Millisecond),
+				hits-hits0, misses-misses0)
 		}
 	}
 

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/sweep"
+)
+
+// goldenCombo is one (jobs, trace-cache) setting compared against the
+// serial/uncached baseline. The list lives in the build-tagged scale
+// files: the race build runs a reduced grid.
+type goldenCombo struct {
+	jobs  int
+	cache bool
+}
+
+// renderAll runs every registered experiment into one buffer under the
+// given orchestrator settings.
+func renderAll(t *testing.T, jobs int, cache bool) []byte {
+	t.Helper()
+	sweep.SetDefaultJobs(jobs)
+	core.SetTraceCacheEnabled(cache)
+	core.ResetTraceCache()
+	var buf bytes.Buffer
+	rc := runContext{Seed: 2020, Scale: goldenScale}
+	for _, s := range registry() {
+		s.Run(&buf, rc)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenEquivalence is the orchestrator's contract test: every
+// experiment renderer must produce byte-identical output whether cells
+// run serially or fanned out, and whether transmitter traces are
+// simulated fresh or replayed from the cache. It runs in the -race
+// tier-1 set (at a trimmed scale there — see scale_race_test.go).
+func TestGoldenEquivalence(t *testing.T) {
+	t.Cleanup(func() {
+		sweep.SetDefaultJobs(0)
+		core.SetTraceCacheEnabled(true)
+		core.ResetTraceCache()
+	})
+
+	baseline := renderAll(t, 1, false) // exact legacy serial, no memoization
+	if len(baseline) == 0 {
+		t.Fatal("baseline render is empty")
+	}
+	for _, tc := range goldenCombos {
+		t.Run(fmt.Sprintf("jobs=%d,cache=%v", tc.jobs, tc.cache), func(t *testing.T) {
+			got := renderAll(t, tc.jobs, tc.cache)
+			if !bytes.Equal(got, baseline) {
+				t.Fatalf("output differs from serial/uncached baseline\n"+
+					"baseline %d bytes, got %d bytes\nfirst divergence: %s",
+					len(baseline), len(got), firstDiff(baseline, got))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing byte and quotes context around
+// it, for a readable failure.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("byte %d: %q vs %q", i, a[lo:i+1], b[lo:i+1])
+		}
+	}
+	return fmt.Sprintf("one output is a prefix of the other (lengths %d vs %d)", len(a), len(b))
+}
+
+// TestRegistryNamesUnique guards the -only contract: names are the
+// lookup keys, so duplicates would silently shadow experiments.
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range registryNames() {
+		if seen[n] {
+			t.Errorf("duplicate registry name %q", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != 19 {
+		t.Errorf("registry has %d experiments, want 19", len(seen))
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !race
+
+package main
+
+import "pmuleak/internal/experiments"
+
+// goldenScale is the scale the golden equivalence test runs at. Without
+// the race detector the full Quick scale is tractable.
+var goldenScale = experiments.Quick
+
+// goldenCombos is the (jobs, trace-cache) grid compared against the
+// serial/uncached baseline.
+var goldenCombos = []goldenCombo{
+	{jobs: 1, cache: true},
+	{jobs: 4, cache: false},
+	{jobs: 4, cache: true},
+}

@@ -1,0 +1,18 @@
+//go:build race
+
+package main
+
+import "pmuleak/internal/experiments"
+
+// goldenScale is the scale the golden equivalence test runs at. Under
+// the race detector every simulation step costs ~10x and CI may have a
+// single vCPU, so the grid is trimmed hard: the point of the -race pass
+// is catching unsynchronized access in the orchestrator, not
+// statistical fidelity (the !race run covers the full Quick scale).
+var goldenScale = experiments.Scale{PayloadBits: 32, Runs: 1, Words: 6}
+
+// goldenCombos under race: one comparison render, on the configuration
+// that exercises both the worker pool and the concurrent trace cache.
+var goldenCombos = []goldenCombo{
+	{jobs: 4, cache: true},
+}

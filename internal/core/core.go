@@ -20,6 +20,7 @@ import (
 	"pmuleak/internal/laptop"
 	"pmuleak/internal/sdr"
 	"pmuleak/internal/sim"
+	"pmuleak/internal/sweep"
 	"pmuleak/internal/workload"
 	"pmuleak/internal/xrand"
 )
@@ -156,53 +157,51 @@ type CovertResult struct {
 // RunCovert executes one full covert transfer: transmitter process on
 // the simulated laptop, EM emission, propagation, SDR capture, and the
 // batch-processing demodulator.
+//
+// The transmitter half (kernel simulation through EM synthesis) reads
+// only the laptop profile, the seed, the radio sample rate, and the
+// transmitter-side config fields — never the channel or receiver
+// config — so it is memoized in a process-wide cache: sweeps that vary
+// only receiver-side parameters (distance, walls, antennas, noise,
+// harmonic count) synthesize the pulse train once and replay it. The
+// cache is on by default (SetTraceCacheEnabled to opt out) and results
+// are bit-identical either way, because the receiver's random stream is
+// independently seeded. When the trace comes from the cache, the
+// result's Run, Payload, and TXCfg fields are shared with other results
+// of the same transmitter configuration — treat them as read-only.
 func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
 	cfg.fill(tb)
-	sys := laptop.NewSystem(tb.Profile, tb.Seed)
-	defer sys.Close()
+	tr, cached := tb.transmitterTrace(cfg)
 
-	txCfg := covert.DefaultTXConfig(cfg.SleepPeriod)
-	if cfg.Code != covert.CodeHamming74 {
-		txCfg.Code = cfg.Code
-	}
-	txCfg.InterleaveDepth = cfg.Interleave
-	payload := cfg.Payload
-	if payload == nil {
-		payload = xrand.New(tb.Seed + 7919).Bits(cfg.PayloadBits)
-	}
-	frame := covert.EncodeFrame(payload, txCfg)
-	run := covert.SpawnTransmitter(sys.Kernel(), frame, txCfg)
-
-	if cfg.Background {
-		spawnBackgroundHog(sys.Kernel(), tb.Seed+31)
-	}
-
-	horizon := covert.AirtimeEstimate(frame, txCfg, tb.Profile.Kernel)
-	sys.Run(horizon)
-
-	plan := sys.DefaultPlan()
-	plan.SampleRate = tb.Radio.SampleRate
-	field := sys.Emanations(horizon, plan)
 	rng := xrand.New(tb.Seed + 104729)
-	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng)
-	cap := sdr.Acquire(field, plan.CenterFreqHz, tb.Radio, rng.Fork())
+	field := emchannel.Apply(tr.field, tr.plan.SampleRate, tb.Channel, rng)
+	if !cached {
+		// A non-cached trace is exclusively ours and its pre-channel
+		// field is dead once Apply has consumed it.
+		dsp.PutIQ(tr.field)
+		tr.field = nil
+	}
+	cap := sdr.Acquire(field, tr.plan.CenterFreqHz, tb.Radio, rng.Fork())
+	dsp.PutIQ(field) // Acquire copied what it needed
 
 	rxCfg := covert.DefaultRXConfig()
 	rxCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
-	rxCfg.MinBitPeriod = txCfg.BitPeriod() / 2
+	rxCfg.MinBitPeriod = tr.txCfg.BitPeriod() / 2
 	rxCfg.Parallelism = cfg.Parallelism
 	if cfg.RXHarmonics > 0 {
 		rxCfg.NumHarmonics = cfg.RXHarmonics
 	}
 	demod := covert.Demodulate(cap, rxCfg)
-
-	return &CovertResult{
-		Measurement: covert.Measure(run, demod, txCfg, payload),
-		Run:         run,
+	res := &CovertResult{
+		Measurement: covert.Measure(tr.run, demod, tr.txCfg, tr.payload),
+		Run:         tr.run,
 		Demod:       demod,
-		Payload:     payload,
-		TXCfg:       txCfg,
+		Payload:     tr.payload,
+		TXCfg:       tr.txCfg,
 	}
+	// Demodulate keeps no reference to the raw samples; recycle them.
+	cap.Recycle()
+	return res
 }
 
 // spawnBackgroundHog runs the §IV-C2 resource-intensive background
@@ -314,11 +313,13 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 	sys.Run(horizon)
 
 	plan := tb.keylogPlan()
-	field := sys.Emanations(horizon, plan)
-	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng.Fork())
+	raw := sys.Emanations(horizon, plan)
+	field := emchannel.Apply(raw, plan.SampleRate, tb.Channel, rng.Fork())
+	dsp.PutIQ(raw)
 	radio := tb.Radio
 	radio.SampleRate = plan.SampleRate
 	cap := sdr.Acquire(field, plan.CenterFreqHz, radio, rng.Fork())
+	dsp.PutIQ(field)
 
 	detCfg := keylog.DefaultDetectorConfig()
 	if cfg.Detector != nil {
@@ -329,6 +330,7 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 		detCfg.Parallelism = cfg.Parallelism
 	}
 	det := keylog.Detect(cap, detCfg)
+	cap.Recycle()
 
 	groups := keylog.GroupWords(det.Keystrokes, 0)
 	return &KeylogResult{
@@ -350,11 +352,15 @@ func (tb *Testbed) MicrobenchSpectrogram(active, idle sim.Time, cycles int) *dsp
 	horizon := sim.Time(float64(active+idle)*float64(cycles)*1.3) + 2*sim.Millisecond
 	sys.Run(horizon)
 	plan := sys.DefaultPlan()
-	field := sys.Emanations(horizon, plan)
+	raw := sys.Emanations(horizon, plan)
 	rng := xrand.New(tb.Seed + 104729)
-	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng)
+	field := emchannel.Apply(raw, plan.SampleRate, tb.Channel, rng)
+	dsp.PutIQ(raw)
 	cap := sdr.Acquire(field, plan.CenterFreqHz, tb.Radio, rng.Fork())
-	return dsp.STFT(cap.IQ, 1024, 512, dsp.Hann(1024), cap.SampleRate)
+	dsp.PutIQ(field)
+	s := dsp.STFT(cap.IQ, 1024, 512, dsp.Hann(1024), cap.SampleRate)
+	cap.Recycle()
+	return s
 }
 
 // KeylogSpectrogram renders the Fig. 11 view: the spectrogram of the
@@ -368,13 +374,17 @@ func (tb *Testbed) KeylogSpectrogram(text string) (*dsp.Spectrogram, []keylog.Ke
 	keylog.Inject(sys.Kernel(), events, horizon, keylog.DefaultHandlingConfig(), rng.Fork())
 	sys.Run(horizon)
 	plan := tb.keylogPlan()
-	field := sys.Emanations(horizon, plan)
-	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng.Fork())
+	raw := sys.Emanations(horizon, plan)
+	field := emchannel.Apply(raw, plan.SampleRate, tb.Channel, rng.Fork())
+	dsp.PutIQ(raw)
 	radio := tb.Radio
 	radio.SampleRate = plan.SampleRate
 	cap := sdr.Acquire(field, plan.CenterFreqHz, radio, rng.Fork())
+	dsp.PutIQ(field)
 	fft := 2048
-	return dsp.STFT(cap.IQ, fft, fft, dsp.Hann(fft), cap.SampleRate), events
+	s := dsp.STFT(cap.IQ, fft, fft, dsp.Hann(fft), cap.SampleRate)
+	cap.Recycle()
+	return s, events
 }
 
 // AblationRow is one configuration of the §III P/C-state experiment.
@@ -401,8 +411,11 @@ func (tb *Testbed) StateAblation(active, idle sim.Time, cycles int) []AblationRo
 		{"P-states only", true, false},
 		{"both disabled", false, false},
 	}
-	var rows []AblationRow
-	for _, combo := range combos {
+	// The four BIOS combinations are independent cells — each builds its
+	// own system and random streams from tb.Seed — so they run on the
+	// sweep worker pool.
+	return sweep.Map(len(combos), func(i int) AblationRow {
+		combo := combos[i]
 		prof := tb.Profile
 		prof.Power.PStatesEnabled = combo.p
 		prof.Power.CStatesEnabled = combo.c
@@ -412,28 +425,30 @@ func (tb *Testbed) StateAblation(active, idle sim.Time, cycles int) []AblationRo
 		horizon := sim.Time(float64(active+idle) * float64(cycles) * 1.2)
 		sys.Run(horizon)
 		plan := sys.DefaultPlan()
-		field := sys.Emanations(horizon, plan)
+		raw := sys.Emanations(horizon, plan)
 		rng := xrand.New(tb.Seed + 104729)
-		field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng)
+		field := emchannel.Apply(raw, plan.SampleRate, tb.Channel, rng)
+		dsp.PutIQ(raw)
 		cap := sdr.Acquire(field, plan.CenterFreqHz, tb.Radio, rng.Fork())
+		dsp.PutIQ(field)
 		sys.Close()
 
 		s := dsp.STFT(cap.IQ, 1024, 512, dsp.Hann(1024), cap.SampleRate)
+		cap.Recycle()
 		col := s.Column(s.Bin(prof.VRM.SwitchingFreqHz - plan.CenterFreqHz))
 		hi := dsp.Quantile(col, 0.9)
 		lo := dsp.Quantile(col, 0.1)
 		if lo <= 0 {
 			lo = 1e-12
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Name:              combo.name,
 			PStates:           combo.p,
 			CStates:           combo.c,
 			SpikeOnOffRatio:   hi / lo,
 			MeanSpikeStrength: lo,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // ActivityDuration measures how long the processor stayed busy for a
@@ -448,18 +463,21 @@ func (tb *Testbed) ActivityDuration(work sim.Time) (float64, error) {
 	horizon := start + work + 40*sim.Millisecond
 	sys.Run(horizon)
 	plan := tb.keylogPlan()
-	field := sys.Emanations(horizon, plan)
+	raw := sys.Emanations(horizon, plan)
 	rng := xrand.New(tb.Seed + 104729)
-	field = emchannel.Apply(field, plan.SampleRate, tb.Channel, rng)
+	field := emchannel.Apply(raw, plan.SampleRate, tb.Channel, rng)
+	dsp.PutIQ(raw)
 	radio := tb.Radio
 	radio.SampleRate = plan.SampleRate
 	cap := sdr.Acquire(field, plan.CenterFreqHz, radio, rng.Fork())
+	dsp.PutIQ(field)
 
 	detCfg := keylog.DefaultDetectorConfig()
 	detCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
 	detCfg.MaxKeystroke = work + 500*sim.Millisecond
 	detCfg.MinKeystroke = 5 * sim.Millisecond
 	det := keylog.Detect(cap, detCfg)
+	cap.Recycle()
 	if len(det.Keystrokes) == 0 {
 		return 0, fmt.Errorf("core: no activity burst detected")
 	}

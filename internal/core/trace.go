@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pmuleak/internal/covert"
+	"pmuleak/internal/laptop"
+	"pmuleak/internal/xrand"
+)
+
+// txTrace is the transmitter half of a covert run: everything computed
+// before the EM field enters the propagation channel. It depends only on
+// (laptop profile, seed, radio sample rate, transmitter-side covert
+// config) — the channel config and the receiver config are never read —
+// which is what makes it safe to memoize and replay through different
+// channels and receivers. The receiver's randomness is independently
+// seeded (tb.Seed + 104729), so a replayed trace consumes exactly the
+// random stream the serial path would have.
+type txTrace struct {
+	field   []complex128 // sys.Emanations output, pre-channel
+	plan    laptop.EmanationPlan
+	run     *covert.TxRun
+	payload []byte
+	txCfg   covert.TXConfig
+}
+
+// simulateTxTrace runs the transmitter side from scratch: kernel
+// simulation, EM synthesis, nothing channel- or receiver-dependent.
+// cfg must already be filled (cfg.fill).
+func (tb *Testbed) simulateTxTrace(cfg CovertConfig) *txTrace {
+	sys := laptop.NewSystem(tb.Profile, tb.Seed)
+	defer sys.Close()
+
+	txCfg := covert.DefaultTXConfig(cfg.SleepPeriod)
+	if cfg.Code != covert.CodeHamming74 {
+		txCfg.Code = cfg.Code
+	}
+	txCfg.InterleaveDepth = cfg.Interleave
+	payload := cfg.Payload
+	if payload == nil {
+		payload = xrand.New(tb.Seed + 7919).Bits(cfg.PayloadBits)
+	}
+	frame := covert.EncodeFrame(payload, txCfg)
+	run := covert.SpawnTransmitter(sys.Kernel(), frame, txCfg)
+
+	if cfg.Background {
+		spawnBackgroundHog(sys.Kernel(), tb.Seed+31)
+	}
+
+	horizon := covert.AirtimeEstimate(frame, txCfg, tb.Profile.Kernel)
+	sys.Run(horizon)
+
+	plan := sys.DefaultPlan()
+	plan.SampleRate = tb.Radio.SampleRate
+	field := sys.Emanations(horizon, plan)
+	return &txTrace{field: field, plan: plan, run: run, payload: payload, txCfg: txCfg}
+}
+
+// traceKey encodes every input the transmitter path reads. Profile is
+// not map-comparable (it embeds P-/C-state tables as slices) and has a
+// Stringer that prints only the model name, so its fields are formatted
+// individually — the nested configs have no Stringers of their own and
+// render in full under %+v. The rest of the key is the seed, the radio
+// sample rate (the one radio field the tx path reads, via the emanation
+// plan), and the tx-side covert config fields. Receiver-side fields
+// (RXHarmonics, Parallelism) and the channel config are deliberately
+// absent — varying them must hit the cache.
+func traceKey(tb *Testbed, cfg CovertConfig) string {
+	p := tb.Profile
+	return fmt.Sprintf("%s|%s|%+v|%+v|%+v|%v|%v|%v|%v|%d|%d|%d|%g|%d|%d|%x|%d|%t|%d",
+		p.Model, p.Arch, p.Kernel, p.Power, p.VRM,
+		p.EmitterGain, p.PhaseNoiseSigma, p.CarrierDriftHzPerS, p.VRMDitherHz,
+		p.DVFSWindow, p.DefaultSleepPeriod,
+		tb.Seed, tb.Radio.SampleRate,
+		cfg.SleepPeriod, cfg.PayloadBits, cfg.Payload,
+		cfg.Code, cfg.Background, cfg.Interleave)
+}
+
+// The process-wide transmitter-trace cache: a small LRU of memoized
+// traces with per-entry singleflight, so concurrent sweep cells that
+// share a transmitter configuration simulate it once and replay it.
+// Fields are a few MB each at quick scale (tens at paper scale), so the
+// cache is deliberately tiny — sweeps that vary only receiver-side
+// parameters need exactly one entry live at a time.
+type traceEntry struct {
+	once sync.Once
+	tr   *txTrace
+	used int64 // LRU tick, guarded by traceMu
+}
+
+var (
+	traceMu      sync.Mutex
+	traceEntries = make(map[string]*traceEntry)
+	traceTick    int64
+	traceCap     = 8
+	traceHits    atomic.Uint64
+	traceMisses  atomic.Uint64
+	// traceDisabled's zero value leaves the cache ON by default.
+	traceDisabled atomic.Bool
+)
+
+// SetTraceCacheEnabled turns the transmitter-trace cache on or off
+// process-wide. Off forces every RunCovert to simulate its transmitter
+// from scratch (the pre-memoization behavior); results are bit-identical
+// either way.
+func SetTraceCacheEnabled(on bool) { traceDisabled.Store(!on) }
+
+// TraceCacheEnabled reports whether the transmitter-trace cache is on.
+func TraceCacheEnabled() bool { return !traceDisabled.Load() }
+
+// TraceCacheStats returns the cumulative hit and miss counts since the
+// last ResetTraceCache. A miss is a simulation; a hit is a replay.
+func TraceCacheStats() (hits, misses uint64) {
+	return traceHits.Load(), traceMisses.Load()
+}
+
+// ResetTraceCache drops every cached trace and zeroes the counters.
+func ResetTraceCache() {
+	traceMu.Lock()
+	traceEntries = make(map[string]*traceEntry)
+	traceTick = 0
+	traceMu.Unlock()
+	traceHits.Store(0)
+	traceMisses.Store(0)
+}
+
+// transmitterTrace returns the transmitter trace for (tb, cfg), from
+// the cache when enabled. cached reports whether the returned trace is
+// cache-owned: cache-owned traces are shared across runs and their
+// field buffer must never be mutated or recycled; a non-cached trace is
+// exclusively the caller's.
+func (tb *Testbed) transmitterTrace(cfg CovertConfig) (tr *txTrace, cached bool) {
+	if traceDisabled.Load() {
+		return tb.simulateTxTrace(cfg), false
+	}
+	key := traceKey(tb, cfg)
+	traceMu.Lock()
+	e, ok := traceEntries[key]
+	if !ok {
+		if len(traceEntries) >= traceCap {
+			evictOldestLocked()
+		}
+		e = &traceEntry{}
+		traceEntries[key] = e
+		traceMisses.Add(1)
+	} else {
+		traceHits.Add(1)
+	}
+	traceTick++
+	e.used = traceTick
+	traceMu.Unlock()
+	// Singleflight: concurrent cells wanting the same trace block here
+	// while exactly one simulates it.
+	e.once.Do(func() { e.tr = tb.simulateTxTrace(cfg) })
+	return e.tr, true
+}
+
+// evictOldestLocked drops the least-recently-used entry. The evicted
+// trace's field buffer goes to the garbage collector, never to the
+// sample-buffer pool: a concurrent replay may still hold it.
+func evictOldestLocked() {
+	var (
+		oldKey string
+		oldUse int64 = 1<<63 - 1
+	)
+	for k, e := range traceEntries {
+		if e.used < oldUse {
+			oldUse = e.used
+			oldKey = k
+		}
+	}
+	delete(traceEntries, oldKey)
+}

@@ -20,6 +20,7 @@ import (
 	"pmuleak/internal/power"
 	"pmuleak/internal/sdr"
 	"pmuleak/internal/sim"
+	"pmuleak/internal/sweep"
 	"pmuleak/internal/workload"
 )
 
@@ -145,14 +146,20 @@ func Evaluate(cms []Countermeasure, seed int64, payloadBits, words int) []Outcom
 		}
 		return out
 	}
-	out := []Outcome{run("no defense", nil)}
-	out[0].EnergyX = 1
-	for i := range cms {
-		o := run(cms[i].Name, &cms[i])
-		o.EnergyX = EnergyOverhead(cms[i], seed)
-		out = append(out, o)
-	}
-	return out
+	// Baseline and each countermeasure build their own testbeds from the
+	// same seed — independent cells on the sweep pool. Cell 0 is the
+	// undefended baseline (energy 1x by definition).
+	return sweep.Map(1+len(cms), func(i int) Outcome {
+		if i == 0 {
+			o := run("no defense", nil)
+			o.EnergyX = 1
+			return o
+		}
+		cm := cms[i-1]
+		o := run(cm.Name, &cm)
+		o.EnergyX = EnergyOverhead(cm, seed)
+		return o
+	})
 }
 
 // EnergyOverhead measures the power cost of a countermeasure: the ratio

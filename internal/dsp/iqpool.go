@@ -1,0 +1,38 @@
+package dsp
+
+import "sync"
+
+// iqPool recycles IQ sample buffers for the channel/radio hot path.
+// The pool stores *[]complex128 (not []complex128) so Put does not
+// allocate a fresh interface box per call.
+//
+// Contract: GetIQ returns a buffer of exactly length n whose contents
+// are ARBITRARY — callers must fully overwrite every element before
+// reading any (emchannel.Apply and sdr.Acquire both do). PutIQ must
+// only be called once the buffer is provably dead: no Capture, Demod,
+// or cached trace may still reference it.
+var iqPool sync.Pool
+
+// GetIQ returns a []complex128 of length n, reusing a pooled buffer
+// when one with sufficient capacity is available. Contents are not
+// zeroed.
+func GetIQ(n int) []complex128 {
+	if v := iqPool.Get(); v != nil {
+		buf := *(v.(*[]complex128))
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+		// Too small for this request; drop it and allocate.
+	}
+	return make([]complex128, n)
+}
+
+// PutIQ returns a buffer to the pool. Safe to call with nil or empty
+// slices (no-op). The caller must not touch buf afterwards.
+func PutIQ(buf []complex128) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	iqPool.Put(&buf)
+}

@@ -1,0 +1,36 @@
+package dsp
+
+import "testing"
+
+func TestIQPoolRoundTrip(t *testing.T) {
+	a := GetIQ(64)
+	if len(a) != 64 {
+		t.Fatalf("GetIQ(64) len = %d", len(a))
+	}
+	for i := range a {
+		a[i] = complex(float64(i), 0)
+	}
+	PutIQ(a)
+	b := GetIQ(32)
+	if len(b) != 32 {
+		t.Fatalf("GetIQ(32) len = %d", len(b))
+	}
+	// Contents are arbitrary; only the length contract matters.
+	PutIQ(b)
+	// nil and empty are no-ops.
+	PutIQ(nil)
+	PutIQ([]complex128{})
+	c := GetIQ(128)
+	if len(c) != 128 {
+		t.Fatalf("GetIQ(128) len = %d", len(c))
+	}
+}
+
+func BenchmarkGetPutIQ(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := GetIQ(4096)
+		buf[0] = 1
+		PutIQ(buf)
+	}
+}

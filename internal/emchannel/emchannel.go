@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"pmuleak/internal/dsp"
 	"pmuleak/internal/xrand"
 )
 
@@ -109,8 +110,10 @@ func (c Config) PathGain() float64 {
 }
 
 // Apply propagates the IQ stream through the channel: scales by the path
-// gain, then adds interference and noise. A new slice is returned; the
-// input is not modified. sampleRate is needed to synthesize the
+// gain, then adds interference and noise. A fresh slice is returned; the
+// input is not modified. The output buffer may come from the process
+// sample-buffer pool (dsp.GetIQ) — callers that are done with it can
+// hand it back with dsp.PutIQ. sampleRate is needed to synthesize the
 // interferers.
 func Apply(iq []complex128, sampleRate float64, cfg Config, rng *xrand.Source) []complex128 {
 	if err := cfg.Validate(); err != nil {
@@ -120,7 +123,9 @@ func Apply(iq []complex128, sampleRate float64, cfg Config, rng *xrand.Source) [
 		panic("emchannel: sampleRate must be positive")
 	}
 	gain := cfg.PathGain()
-	out := make([]complex128, len(iq))
+	// Pooled buffer: the gain loop below overwrites every element before
+	// any read-modify op, so no zeroing is needed.
+	out := dsp.GetIQ(len(iq))
 	for i, v := range iq {
 		out[i] = v * complex(gain, 0)
 	}

@@ -21,6 +21,7 @@ import (
 	"pmuleak/internal/laptop"
 	"pmuleak/internal/sdr"
 	"pmuleak/internal/sim"
+	"pmuleak/internal/sweep"
 	"pmuleak/internal/xrand"
 )
 
@@ -148,10 +149,12 @@ type Fig8Result struct {
 // Fig8 measures insertion/deletion behaviour with the background hog
 // running (the paper's "other system activity" scenario).
 func Fig8(seed int64, scale Scale) Fig8Result {
-	tb := core.NewTestbed(core.WithSeed(seed))
-	quiet := tb.RunCovert(core.CovertConfig{PayloadBits: scale.PayloadBits})
-	loaded := tb.RunCovert(core.CovertConfig{PayloadBits: scale.PayloadBits, Background: true})
-	return Fig8Result{Quiet: quiet.Measurement, Loaded: loaded.Measurement}
+	cells := sweep.Map(2, func(i int) covert.Measurement {
+		tb := core.NewTestbed(core.WithSeed(seed))
+		return tb.RunCovert(core.CovertConfig{
+			PayloadBits: scale.PayloadBits, Background: i == 1}).Measurement
+	})
+	return Fig8Result{Quiet: cells[0], Loaded: cells[1]}
 }
 
 // ---------------------------------------------------------------------
@@ -174,20 +177,23 @@ func (r TableIIRow) String() string {
 }
 
 // TableII measures the near-field covert channel on every Table I
-// laptop, averaging scale.Runs runs.
+// laptop, averaging scale.Runs runs. The laptop×run grid is flattened
+// onto the sweep pool — every cell has its own seed — and each laptop's
+// average is reduced in run order, so the table is bit-identical to the
+// old serial loop.
 func TableII(seed int64, scale Scale) []TableIIRow {
-	var rows []TableIIRow
-	for i, prof := range laptop.Profiles() {
-		var runs []covert.Measurement
-		for r := 0; r < scale.Runs; r++ {
-			tb := core.NewTestbed(
-				core.WithLaptop(prof),
-				core.WithSeed(seed+int64(i*100+r)),
-			)
-			res := tb.RunCovert(core.CovertConfig{PayloadBits: scale.PayloadBits})
-			runs = append(runs, res.Measurement)
-		}
-		avg := covert.Average(runs)
+	profiles := laptop.Profiles()
+	cells := sweep.Map(len(profiles)*scale.Runs, func(c int) covert.Measurement {
+		i, r := c/scale.Runs, c%scale.Runs
+		tb := core.NewTestbed(
+			core.WithLaptop(profiles[i]),
+			core.WithSeed(seed+int64(i*100+r)),
+		)
+		return tb.RunCovert(core.CovertConfig{PayloadBits: scale.PayloadBits}).Measurement
+	})
+	rows := make([]TableIIRow, 0, len(profiles))
+	for i, prof := range profiles {
+		avg := covert.Average(cells[i*scale.Runs : (i+1)*scale.Runs])
 		rows = append(rows, TableIIRow{
 			Model: prof.Model,
 			OS:    prof.OS().String(),
@@ -206,13 +212,19 @@ func TableII(seed int64, scale Scale) []TableIIRow {
 func BackgroundLoadTRDrop(seed int64, scale Scale) (quiet, loaded float64) {
 	const target = 0.012
 	const runs = 3
-	for r := int64(0); r < runs; r++ {
-		tb := core.NewTestbed(core.WithSeed(seed + r))
+	type pair struct{ q, l float64 }
+	cells := sweep.Map(runs, func(r int) pair {
+		tb := core.NewTestbed(core.WithSeed(seed + int64(r)))
 		q, _ := tb.RateSearch(target, core.CovertConfig{PayloadBits: scale.PayloadBits})
 		l, _ := tb.RateSearch(target, core.CovertConfig{
 			PayloadBits: scale.PayloadBits, Background: true})
-		quiet += q.TransmitRate
-		loaded += l.TransmitRate
+		return pair{q.TransmitRate, l.TransmitRate}
+	})
+	// Sum in run order: float addition is not associative, and the
+	// harness requires jobs=1 and jobs=N to agree bit for bit.
+	for _, c := range cells {
+		quiet += c.q
+		loaded += c.l
 	}
 	return quiet / runs, loaded / runs
 }
@@ -240,7 +252,7 @@ func (f Fig9Result) Speedup() float64 {
 	return f.Proposed / best
 }
 
-// Fig9 evaluates the seven baseline channels at a 1%% BER target and
+// Fig9 evaluates the seven baseline channels at a 1% BER target and
 // compares them with the proposed channel's achieved rate. As in the
 // paper, the proposed number is the fastest laptop's near-field TR from
 // the Table II measurement (the MacBooks, which run at ~3 kbps with a
@@ -280,24 +292,22 @@ func (r TableIIIRow) String() string {
 // the rate at each distance until the error rate meets the target.
 func TableIII(seed int64, scale Scale) []TableIIIRow {
 	distances := []float64{1.0, 1.5, 2.5}
-	var rows []TableIIIRow
-	for i, d := range distances {
+	return sweep.Map(len(distances), func(i int) TableIIIRow {
 		tb := core.NewTestbed(
-			core.WithDistance(d),
+			core.WithDistance(distances[i]),
 			core.WithAntenna(sdr.LoopLA390),
 			core.WithSeed(seed+int64(i)),
 		)
 		res, ok := tb.RateSearch(1.5e-2, core.CovertConfig{PayloadBits: scale.PayloadBits})
-		rows = append(rows, TableIIIRow{
-			DistanceM: d,
+		return TableIIIRow{
+			DistanceM: distances[i],
 			BER:       res.BER(),
 			TR:        res.TransmitRate,
 			IP:        res.InsertionProb(),
 			DP:        res.DeletionProb(),
 			OK:        ok,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -380,20 +390,19 @@ func TableIV(seed int64, scale Scale) []TableIVRow {
 		{"1.5m+wall", []core.Option{
 			core.WithDistance(1.5), core.WithWall(15), core.WithAntenna(sdr.LoopLA390)}},
 	}
-	var rows []TableIVRow
-	for i, p := range placements {
+	return sweep.Map(len(placements), func(i int) TableIVRow {
+		p := placements[i]
 		opts := append([]core.Option{core.WithSeed(seed + int64(i))}, p.opts...)
 		tb := core.NewTestbed(opts...)
 		res := tb.RunKeylog(core.KeylogConfig{Words: scale.Words})
-		rows = append(rows, TableIVRow{
+		return TableIVRow{
 			Placement: p.name,
 			TPR:       res.Char.TPR,
 			FPR:       res.Char.FPR,
 			Precision: res.Word.Precision,
 			Recall:    res.Word.Recall,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -413,28 +422,35 @@ func ReceiverAblations(seed int64, scale Scale) []AblationResult {
 
 	// Multi-harmonic acquisition (Eq. 1 with |S|=2 vs fundamental
 	// only): channel error rate at the 2.5 m operating point, averaged
-	// over a few seeds to steady the comparison.
-	runErr := func(harmonics int) float64 {
+	// over a few seeds to steady the comparison. The |S|=2 and |S|=1
+	// groups share seeds and differ only receiver-side, so the second
+	// group replays the first group's transmitter traces from the cache.
+	harmonics := []int{2, 1}
+	errs := sweep.Map(len(harmonics)*scale.Runs, func(c int) float64 {
+		h, r := harmonics[c/scale.Runs], c%scale.Runs
+		tb := core.NewTestbed(
+			core.WithDistance(2.5),
+			core.WithAntenna(sdr.LoopLA390),
+			core.WithSeed(seed+int64(r)),
+		)
+		res := tb.RunCovert(core.CovertConfig{
+			PayloadBits: scale.PayloadBits,
+			SleepPeriod: 5 * tb.Profile.DefaultSleepPeriod,
+			RXHarmonics: h,
+		})
+		return res.ErrorRate()
+	})
+	groupMean := func(g int) float64 {
 		var sum float64
 		for r := 0; r < scale.Runs; r++ {
-			tb := core.NewTestbed(
-				core.WithDistance(2.5),
-				core.WithAntenna(sdr.LoopLA390),
-				core.WithSeed(seed+int64(r)),
-			)
-			res := tb.RunCovert(core.CovertConfig{
-				PayloadBits: scale.PayloadBits,
-				SleepPeriod: 5 * tb.Profile.DefaultSleepPeriod,
-				RXHarmonics: harmonics,
-			})
-			sum += res.ErrorRate()
+			sum += errs[g*scale.Runs+r]
 		}
 		return sum / float64(scale.Runs)
 	}
 	out = append(out, AblationResult{
 		Name:    "2.5m error rate: |S|=2 vs |S|=1",
-		With:    runErr(2),
-		Without: runErr(1),
+		With:    groupMean(0),
+		Without: groupMean(1),
 		Comment: "multi-harmonic acquisition (Eq. 1)",
 	})
 
@@ -501,12 +517,23 @@ func Fingerprint(seed int64, scale Scale) FingerprintResult {
 			core.WithDistance(2.0), core.WithAntenna(sdr.LoopLA390))
 	}
 	res := FingerprintResult{Classes: len(catalog)}
-	if clf, err := fingerprint.Train(near, catalog, scale.Runs, seed); err == nil {
-		res.NearAccuracy = fingerprint.Evaluate(clf, near, catalog, trials, seed+1000).Accuracy()
-	}
-	if clf, err := fingerprint.Train(far, catalog, scale.Runs, seed+2000); err == nil {
-		res.FarAccuracy = fingerprint.Evaluate(clf, far, catalog, trials, seed+3000).Accuracy()
-	}
+	// The near and far placements use disjoint seed ranges and are
+	// independent train+evaluate pipelines: two sweep cells.
+	accs := sweep.Map(2, func(i int) float64 {
+		if i == 0 {
+			clf, err := fingerprint.Train(near, catalog, scale.Runs, seed)
+			if err != nil {
+				return 0
+			}
+			return fingerprint.Evaluate(clf, near, catalog, trials, seed+1000).Accuracy()
+		}
+		clf, err := fingerprint.Train(far, catalog, scale.Runs, seed+2000)
+		if err != nil {
+			return 0
+		}
+		return fingerprint.Evaluate(clf, far, catalog, trials, seed+3000).Accuracy()
+	})
+	res.NearAccuracy, res.FarAccuracy = accs[0], accs[1]
 	return res
 }
 
@@ -567,21 +594,29 @@ func MultiCoreIsolation(seed int64, scale Scale) MultiCoreResult {
 		horizon := covert.AirtimeEstimate(frame, txCfg, prof.Kernel)
 		sys.Run(horizon)
 		plan := sys.DefaultPlan()
-		field := sys.Emanations(horizon, plan)
+		raw := sys.Emanations(horizon, plan)
 		rng := xrand.New(seed + 104729)
-		field = emchannel.Apply(field, plan.SampleRate, emchannel.DefaultConfig(), rng)
+		field := emchannel.Apply(raw, plan.SampleRate, emchannel.DefaultConfig(), rng)
+		dsp.PutIQ(raw)
 		cap := sdr.Acquire(field, plan.CenterFreqHz, sdr.DefaultConfig(), rng.Fork())
+		dsp.PutIQ(field)
 
 		rxCfg := covert.DefaultRXConfig()
 		rxCfg.ExpectedF0 = prof.VRM.SwitchingFreqHz
 		rxCfg.MinBitPeriod = txCfg.BitPeriod() / 2
 		d := covert.Demodulate(cap, rxCfg)
+		cap.Recycle()
 		return covert.Measure(runTx, d, txCfg, payload).ErrorRate()
 	}
+	// This experiment places processes on specific cores by hand, so it
+	// never goes through RunCovert's trace cache — each cell simulates
+	// its own dual-core system on the sweep pool.
+	hogCores := []int{-1, 0, 1}
+	errs := sweep.Map(len(hogCores), func(i int) float64 { return run(hogCores[i]) })
 	return MultiCoreResult{
-		QuietErr:     run(-1),
-		SameCoreErr:  run(0),
-		CrossCoreErr: run(1),
+		QuietErr:     errs[0],
+		SameCoreErr:  errs[1],
+		CrossCoreErr: errs[2],
 	}
 }
 
@@ -614,13 +649,13 @@ func (r UtilizationLeakResult) Monotone() bool {
 func UtilizationLeak(seed int64) UtilizationLeakResult {
 	duties := []float64{0.25, 0.5, 0.75, 1.0}
 	res := UtilizationLeakResult{Duty: duties}
-	for i, duty := range duties {
+	res.Amplitude = sweep.Map(len(duties), func(i int) float64 {
 		prof := laptop.Reference()
 		prof.DVFSWindow = 5 * sim.Millisecond
 		sys := laptop.NewSystem(prof, seed+int64(i))
 
 		period := sim.Millisecond
-		busy := sim.Time(duty * float64(period))
+		busy := sim.Time(duties[i] * float64(period))
 		sys.Kernel().Spawn("load", func(p *kernel.Proc) {
 			for j := 0; j < 60; j++ {
 				p.Busy(busy)
@@ -636,12 +671,14 @@ func UtilizationLeak(seed int64) UtilizationLeakResult {
 		sys.Close()
 
 		s := dsp.STFT(field, 1024, 256, dsp.Hann(1024), plan.SampleRate)
+		dsp.PutIQ(field)
 		col := s.Column(s.Bin(prof.VRM.SwitchingFreqHz - plan.CenterFreqHz))
 		// Skip the cold-start window; measure the steady active level.
 		tail := col[len(col)/3:]
-		res.Amplitude = append(res.Amplitude, dsp.Quantile(tail, 0.9))
-	}
-	// Normalize to the full-load level.
+		return dsp.Quantile(tail, 0.9)
+	})
+	// Normalize to the full-load level (after the sweep: the reference
+	// cell must exist first).
 	if max := res.Amplitude[len(res.Amplitude)-1]; max > 0 {
 		for i := range res.Amplitude {
 			res.Amplitude[i] /= max
@@ -750,22 +787,20 @@ type WaterfallPoint struct {
 // rate-searching at each level.
 func Waterfall(seed int64, scale Scale) []WaterfallPoint {
 	sigmas := []float64{0.001, 0.002, 0.004, 0.008, 0.016}
-	var out []WaterfallPoint
-	for i, sigma := range sigmas {
+	return sweep.Map(len(sigmas), func(i int) WaterfallPoint {
 		tb := core.NewTestbed(
 			core.WithSeed(seed+int64(i)),
 			core.WithDistance(2.0),
 			core.WithAntenna(sdr.LoopLA390),
-			core.WithNoise(sigma),
+			core.WithNoise(sigmas[i]),
 		)
 		res, ok := tb.RateSearch(1.5e-2, core.CovertConfig{PayloadBits: scale.PayloadBits})
-		pt := WaterfallPoint{NoiseSigma: sigma, OK: ok, ErrorRate: res.ErrorRate()}
+		pt := WaterfallPoint{NoiseSigma: sigmas[i], OK: ok, ErrorRate: res.ErrorRate()}
 		if ok {
 			pt.Rate = res.TransmitRate
 		}
-		out = append(out, pt)
-	}
-	return out
+		return pt
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -796,8 +831,8 @@ func SleepFloor(seed int64, scale Scale) []SleepFloorPoint {
 		20 * sim.Microsecond,
 		8 * sim.Microsecond,
 	}
-	var out []SleepFloorPoint
-	for i, sp := range periods {
+	return sweep.Map(len(periods), func(i int) SleepFloorPoint {
+		sp := periods[i]
 		pt := SleepFloorPoint{SleepPeriod: sp}
 
 		// Measure raw sleep variability on the target OS.
@@ -831,7 +866,6 @@ func SleepFloor(seed int64, scale Scale) []SleepFloorPoint {
 		if pt.ErrorRate > 1 {
 			pt.ErrorRate = 1
 		}
-		out = append(out, pt)
-	}
-	return out
+		return pt
+	})
 }

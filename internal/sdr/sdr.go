@@ -111,6 +111,15 @@ func (c *Capture) Duration() float64 {
 	return float64(len(c.IQ)) / c.SampleRate
 }
 
+// Recycle returns the capture's sample buffer to the process pool and
+// clears the reference. Call it only once the capture has been fully
+// consumed (demodulated / detected / rendered) — any slice still
+// aliasing c.IQ becomes invalid.
+func (c *Capture) Recycle() {
+	dsp.PutIQ(c.IQ)
+	c.IQ = nil
+}
+
 // Acquire runs the input field samples through the receiver chain and
 // returns the capture a host application would see.
 func Acquire(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Source) *Capture {
@@ -118,7 +127,9 @@ func Acquire(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Sourc
 		panic(err)
 	}
 	gain := math.Pow(10, cfg.Antenna.GainDB/20)
-	out := make([]complex128, len(iq))
+	// Pooled buffer: the loop below writes every element before any
+	// read-modify op, so stale contents never leak into the capture.
+	out := dsp.GetIQ(len(iq))
 	for i, v := range iq {
 		out[i] = v * complex(gain, 0)
 		if cfg.IQImbalanceFrac > 0 {

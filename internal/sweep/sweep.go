@@ -1,0 +1,114 @@
+// Package sweep is the experiment orchestration layer: it expresses an
+// experiment as a grid of independent cells and executes the cells
+// across a bounded worker pool, collecting results in cell order.
+//
+// A cell is one self-contained measurement — typically "build a seeded
+// core.Testbed, run it, return the metrics". Cells must not share
+// mutable state: each derives everything it needs from its index. Under
+// that contract the grid's result is identical for every worker count,
+// because cell i's value never depends on when (or on which goroutine)
+// it was computed, and the reduction over the returned slice happens in
+// index order on the caller's goroutine. Determinism is load-bearing
+// here (see the internal/sim doc comment): the harness asserts that
+// `-jobs 1` and `-jobs N` render byte-identical reports.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultJobs is the process-wide worker count used by Map when the
+// caller passes the zero knob. Zero here in turn means runtime.NumCPU().
+// Stored atomically so the harness can set it while experiments run on
+// other goroutines (mirrors dsp.SetDefaultParallelism).
+var defaultJobs atomic.Int32
+
+// SetDefaultJobs sets the worker count Map resolves to: j == 0 restores
+// the default (all CPUs), j == 1 forces the exact legacy serial loop,
+// and j > 1 pins a specific worker count. Negative values are treated
+// as 0.
+func SetDefaultJobs(j int) {
+	if j < 0 {
+		j = 0
+	}
+	defaultJobs.Store(int32(j))
+}
+
+// DefaultJobs reports the current process-wide default (0 = all CPUs).
+func DefaultJobs() int { return int(defaultJobs.Load()) }
+
+// resolve turns a jobs knob into a concrete worker count.
+func resolve(jobs int) int {
+	if jobs == 0 {
+		jobs = DefaultJobs()
+	}
+	if jobs == 0 {
+		jobs = runtime.NumCPU()
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// Map runs cell(0) … cell(n-1) across the process-default worker pool
+// and returns the results in cell order. See MapJobs.
+func Map[T any](n int, cell func(i int) T) []T {
+	return MapJobs(0, n, cell)
+}
+
+// MapJobs is Map with an explicit worker count: jobs == 0 uses the
+// process default, jobs == 1 runs the cells sequentially on the calling
+// goroutine in index order (the exact legacy serial path), jobs > 1
+// fans the cells out over that many goroutines. Results always come
+// back in cell order regardless of completion order.
+//
+// A panic inside a cell is re-raised on the calling goroutine once the
+// pool has drained, so a broken model fails the same way it would have
+// failed in a serial loop.
+func MapJobs[T any](jobs, n int, cell func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := resolve(jobs)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := range out {
+			out[i] = cell(i)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value // first cell panic, re-raised on the caller
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r.(*any))
+	}
+	return out
+}
