@@ -41,10 +41,10 @@ func main() {
 	)
 	flag.Parse()
 
-	prof, ok := laptop.ByModel(*model)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "covert: unknown laptop %q\n", *model)
-		os.Exit(1)
+	prof, err := laptop.Lookup(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covert: %v\n", err)
+		os.Exit(2)
 	}
 	ant := sdr.CoilProbe
 	if *antenna == "loop" {

@@ -47,10 +47,10 @@ func main() {
 		}
 		return
 	}
-	prof, ok := laptop.ByModel(*model)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "emscope: unknown laptop %q (try -list)\n", *model)
-		os.Exit(1)
+	prof, err := laptop.Lookup(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emscope: %v (try -list)\n", err)
+		os.Exit(2)
 	}
 	tb := core.NewTestbed(
 		core.WithLaptop(prof),

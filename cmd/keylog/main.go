@@ -33,10 +33,10 @@ func main() {
 	)
 	flag.Parse()
 
-	prof, ok := laptop.ByModel(*model)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "keylog: unknown laptop %q\n", *model)
-		os.Exit(1)
+	prof, err := laptop.Lookup(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "keylog: %v\n", err)
+		os.Exit(2)
 	}
 	ant := sdr.CoilProbe
 	if *antenna == "loop" {

@@ -13,19 +13,25 @@
 //	                        # list lives in the experiment registry,
 //	                        # cmd/paperbench/registry.go)
 //	paperbench -jobs 4      # experiment-cell worker count
+//	paperbench -metrics m.json -pprof-cpu cpu.pb.gz
 //
 // Experiments run on the internal/sweep orchestrator: independent
 // (laptop × run × sweep-point) cells fan out across -jobs workers, and
 // sweeps that differ only receiver-side replay memoized transmitter
 // traces (-tracecache). Reports are byte-identical for every -jobs /
-// -tracecache setting; timing and cache statistics go to stderr so
-// stdout stays comparable.
+// -tracecache / telemetry setting: stdout carries only the experiment
+// report, while timing, cache statistics, and the telemetry summary go
+// to stderr, the -metrics JSON snapshot to its own file, and profiles
+// to theirs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,61 +39,196 @@ import (
 	"pmuleak/internal/dsp"
 	"pmuleak/internal/experiments"
 	"pmuleak/internal/sweep"
+	"pmuleak/internal/telemetry"
 )
 
 func main() {
-	var (
-		quick      = flag.Bool("quick", false, "CI-sized experiment scale")
-		only       = flag.String("only", "", "run a single experiment: "+strings.Join(registryNames(), ", "))
-		seed       = flag.Int64("seed", 2020, "experiment seed")
-		show       = flag.Bool("spectrograms", false, "render ASCII spectrograms for the figures")
-		parallel   = flag.Int("parallel", 0, "DSP worker count: 0 = all CPUs, 1 = serial, n = n workers (results are bit-identical either way)")
-		jobs       = flag.Int("jobs", 0, "experiment-cell worker count: 0 = all CPUs, 1 = exact legacy serial (results are bit-identical either way)")
-		tracecache = flag.Bool("tracecache", true, "memoize transmitter traces across receiver-side sweeps (results are bit-identical either way)")
-		stats      = flag.Bool("stats", true, "report per-experiment wall time and trace-cache hits/misses on stderr")
-	)
-	flag.Parse()
-	dsp.SetDefaultParallelism(*parallel)
-	sweep.SetDefaultJobs(*jobs)
-	core.SetTraceCacheEnabled(*tracecache)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	scale := experiments.Full
-	if *quick {
-		scale = experiments.Quick
+// benchConfig is the parsed command line. The golden tests build it
+// directly (bypassing flag parsing) to drive the harness in-process.
+type benchConfig struct {
+	Scale      experiments.Scale
+	Only       string
+	Seed       int64
+	Show       bool
+	Parallel   int
+	Jobs       int
+	TraceCache bool
+	Stats      bool
+	Metrics    string // write a telemetry JSON snapshot here at exit
+	PprofCPU   string // write a runtime/pprof CPU profile here
+	PprofHeap  string // write a runtime/pprof heap profile here
+}
+
+// run parses args and executes the harness. Split from main so tests
+// can run the binary's exact code path against in-memory streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		quick      = fs.Bool("quick", false, "CI-sized experiment scale")
+		only       = fs.String("only", "", "run a single experiment: "+strings.Join(registryNames(), ", "))
+		seed       = fs.Int64("seed", 2020, "experiment seed")
+		show       = fs.Bool("spectrograms", false, "render ASCII spectrograms for the figures")
+		parallel   = fs.Int("parallel", 0, "DSP worker count: 0 = all CPUs, 1 = serial, n = n workers (results are bit-identical either way)")
+		jobs       = fs.Int("jobs", 0, "experiment-cell worker count: 0 = all CPUs, 1 = exact legacy serial (results are bit-identical either way)")
+		tracecache = fs.Bool("tracecache", true, "memoize transmitter traces across receiver-side sweeps (results are bit-identical either way)")
+		stats      = fs.Bool("stats", true, "report per-experiment wall time and the telemetry summary on stderr")
+		metrics    = fs.String("metrics", "", "write a telemetry JSON snapshot to this file at exit")
+		pprofCPU   = fs.String("pprof-cpu", "", "write a CPU profile (runtime/pprof) to this file")
+		pprofHeap  = fs.String("pprof-heap", "", "write a heap profile (runtime/pprof) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	cfg := benchConfig{
+		Scale:      experiments.Full,
+		Only:       *only,
+		Seed:       *seed,
+		Show:       *show,
+		Parallel:   *parallel,
+		Jobs:       *jobs,
+		TraceCache: *tracecache,
+		Stats:      *stats,
+		Metrics:    *metrics,
+		PprofCPU:   *pprofCPU,
+		PprofHeap:  *pprofHeap,
+	}
+	if *quick {
+		cfg.Scale = experiments.Quick
+	}
+	return execute(cfg, stdout, stderr)
+}
+
+// execute runs the selected experiments under cfg. Only the experiment
+// report is written to stdout; everything observational goes to stderr
+// or to the files named by cfg, so stdout stays byte-stable across
+// -jobs, -tracecache, -stats, -metrics, and -pprof-* settings.
+func execute(cfg benchConfig, stdout, stderr io.Writer) int {
+	dsp.SetDefaultParallelism(cfg.Parallel)
+	sweep.SetDefaultJobs(cfg.Jobs)
+	core.SetTraceCacheEnabled(cfg.TraceCache)
 
 	specs := registry()
-	if *only != "" {
+	if cfg.Only != "" {
 		known := false
 		for _, s := range specs {
-			if strings.EqualFold(*only, s.Name) {
+			if strings.EqualFold(cfg.Only, s.Name) {
 				known = true
 				break
 			}
 		}
 		if !known {
-			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\nvalid names: %s\n",
-				*only, strings.Join(registryNames(), ", "))
-			os.Exit(2)
+			fmt.Fprintf(stderr, "paperbench: unknown experiment %q\nvalid names: %s\n",
+				cfg.Only, strings.Join(registryNames(), ", "))
+			return 2
 		}
 	}
 
-	rc := runContext{Seed: *seed, Scale: scale, Show: *show}
+	if cfg.PprofCPU != "" {
+		f, err := os.Create(cfg.PprofCPU)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: -pprof-cpu: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "paperbench: -pprof-cpu: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	rc := runContext{Seed: cfg.Seed, Scale: cfg.Scale, Show: cfg.Show}
 	start := time.Now()
 	for _, s := range specs {
-		if *only != "" && !strings.EqualFold(*only, s.Name) {
+		if cfg.Only != "" && !strings.EqualFold(cfg.Only, s.Name) {
 			continue
 		}
 		expStart := time.Now()
 		hits0, misses0 := core.TraceCacheStats()
-		s.Run(os.Stdout, rc)
-		if *stats {
+		s.Run(stdout, rc)
+		if cfg.Stats {
 			hits, misses := core.TraceCacheStats()
-			fmt.Fprintf(os.Stderr, "# %-15s %8v  trace-cache +%d hits +%d misses\n",
+			fmt.Fprintf(stderr, "# %-15s %8v  trace-cache +%d hits +%d misses\n",
 				s.Name, time.Since(expStart).Round(time.Millisecond),
 				hits-hits0, misses-misses0)
 		}
 	}
 
-	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	// The wall-clock line is observational, so it lives on stderr with
+	// the rest of the stats: stdout is byte-stable by contract and must
+	// not carry timing.
+	snap := telemetry.Capture()
+	if cfg.Stats {
+		fmt.Fprintf(stderr, "# completed in %v\n", time.Since(start).Round(time.Millisecond))
+		renderStats(stderr, snap)
+	}
+	if cfg.Metrics != "" {
+		if err := writeMetrics(cfg.Metrics, snap); err != nil {
+			fmt.Fprintf(stderr, "paperbench: -metrics: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.PprofHeap != "" {
+		if err := writeHeapProfile(cfg.PprofHeap); err != nil {
+			fmt.Fprintf(stderr, "paperbench: -pprof-heap: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// renderStats prints the telemetry snapshot on w: counters and gauges
+// as sorted name/value pairs, histograms as count/mean/total. The
+// iteration order comes from the snapshot's sorted accessors, so the
+// report layout is stable across runs.
+func renderStats(w io.Writer, snap telemetry.Snapshot) {
+	fmt.Fprintf(w, "# telemetry\n")
+	for _, name := range snap.CounterNames() {
+		fmt.Fprintf(w, "#   %-34s %12d\n", name, snap.Counters[name])
+	}
+	for _, name := range snap.GaugeNames() {
+		fmt.Fprintf(w, "#   %-34s %12d\n", name, snap.Gauges[name])
+	}
+	for _, name := range snap.HistogramNames() {
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "#   %-34s %12d x %10v = %v\n",
+			name, h.Count, h.Mean().Round(time.Microsecond),
+			time.Duration(h.SumNs).Round(time.Millisecond))
+	}
+}
+
+// writeMetrics serializes the snapshot as deterministic (sorted-key)
+// JSON to path.
+func writeMetrics(path string, snap telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeHeapProfile records an end-of-run heap profile. The GC run
+// beforehand makes the profile reflect live memory, not garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

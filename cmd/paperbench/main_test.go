@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 
 	"pmuleak/internal/core"
@@ -32,6 +33,25 @@ func renderAll(t *testing.T, jobs int, cache bool) []byte {
 	return buf.Bytes()
 }
 
+// goldenBaseline renders the serial/uncached reference output once and
+// caches it for every golden test in the package: a full render is the
+// expensive part of these tests (minutes under -race), and the baseline
+// is identical for all of them — jobs=1, trace cache off, seed 2020,
+// goldenScale.
+var golden struct {
+	once     sync.Once
+	baseline []byte
+}
+
+func goldenBaseline(t *testing.T) []byte {
+	t.Helper()
+	golden.once.Do(func() { golden.baseline = renderAll(t, 1, false) })
+	if len(golden.baseline) == 0 {
+		t.Fatal("baseline render is empty")
+	}
+	return golden.baseline
+}
+
 // TestGoldenEquivalence is the orchestrator's contract test: every
 // experiment renderer must produce byte-identical output whether cells
 // run serially or fanned out, and whether transmitter traces are
@@ -44,10 +64,7 @@ func TestGoldenEquivalence(t *testing.T) {
 		core.ResetTraceCache()
 	})
 
-	baseline := renderAll(t, 1, false) // exact legacy serial, no memoization
-	if len(baseline) == 0 {
-		t.Fatal("baseline render is empty")
-	}
+	baseline := goldenBaseline(t) // exact legacy serial, no memoization
 	for _, tc := range goldenCombos {
 		t.Run(fmt.Sprintf("jobs=%d,cache=%v", tc.jobs, tc.cache), func(t *testing.T) {
 			got := renderAll(t, tc.jobs, tc.cache)

@@ -15,3 +15,8 @@ var goldenCombos = []goldenCombo{
 	{jobs: 4, cache: false},
 	{jobs: 4, cache: true},
 }
+
+// telemetryGoldenJobs is the -jobs grid for the telemetry golden test;
+// two settings so the deterministic counter series can be compared
+// across serial and fanned-out runs.
+var telemetryGoldenJobs = []int{1, 4}

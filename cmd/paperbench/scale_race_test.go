@@ -16,3 +16,8 @@ var goldenScale = experiments.Scale{PayloadBits: 32, Runs: 1, Words: 6}
 var goldenCombos = []goldenCombo{
 	{jobs: 4, cache: true},
 }
+
+// telemetryGoldenJobs under race: one telemetry-enabled render is
+// enough to race-check the instrumented fan-out path; the cross-jobs
+// counter-equality assertion runs in the !race tier (it needs two).
+var telemetryGoldenJobs = []int{4}

@@ -21,8 +21,24 @@ import (
 	"pmuleak/internal/sdr"
 	"pmuleak/internal/sim"
 	"pmuleak/internal/sweep"
+	"pmuleak/internal/telemetry"
 	"pmuleak/internal/workload"
 	"pmuleak/internal/xrand"
+)
+
+// Per-stage span histograms for the simulate → VRM/emit → EM-channel →
+// SDR → demod/detect pipeline. One observation per stage per run —
+// spans bracket whole pipeline stages, so their cost (two time.Now
+// calls) vanishes next to the milliseconds each stage takes. Durations
+// are wall-clock and naturally vary run to run; only the key set is
+// deterministic.
+var (
+	stageSimulate = telemetry.NewHistogram("stage.simulate")
+	stageEmit     = telemetry.NewHistogram("stage.emit")
+	stageChannel  = telemetry.NewHistogram("stage.emchannel")
+	stageSDR      = telemetry.NewHistogram("stage.sdr")
+	stageDemod    = telemetry.NewHistogram("stage.demod")
+	stageDetect   = telemetry.NewHistogram("stage.detect")
 )
 
 // Testbed is one measurement setup: a target laptop, the EM path to the
@@ -174,14 +190,18 @@ func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
 	tr, cached := tb.transmitterTrace(cfg)
 
 	rng := xrand.New(tb.Seed + 104729)
+	chSpan := stageChannel.Start()
 	field := emchannel.Apply(tr.field, tr.plan.SampleRate, tb.Channel, rng)
+	chSpan.End()
 	if !cached {
 		// A non-cached trace is exclusively ours and its pre-channel
 		// field is dead once Apply has consumed it.
 		dsp.PutIQ(tr.field)
 		tr.field = nil
 	}
+	sdrSpan := stageSDR.Start()
 	cap := sdr.Acquire(field, tr.plan.CenterFreqHz, tb.Radio, rng.Fork())
+	sdrSpan.End()
 	dsp.PutIQ(field) // Acquire copied what it needed
 
 	rxCfg := covert.DefaultRXConfig()
@@ -191,7 +211,9 @@ func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
 	if cfg.RXHarmonics > 0 {
 		rxCfg.NumHarmonics = cfg.RXHarmonics
 	}
+	demodSpan := stageDemod.Start()
 	demod := covert.Demodulate(cap, rxCfg)
+	demodSpan.End()
 	res := &CovertResult{
 		Measurement: covert.Measure(tr.run, demod, tr.txCfg, tr.payload),
 		Run:         tr.run,
@@ -304,6 +326,7 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 		handling = *cfg.Handling
 	}
 
+	simSpan := stageSimulate.Start()
 	sys := laptop.NewSystem(tb.Profile, tb.Seed)
 	defer sys.Close()
 	rng := xrand.New(tb.Seed + 500)
@@ -311,14 +334,21 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 	horizon := keylog.SessionHorizon(events)
 	keylog.Inject(sys.Kernel(), events, horizon, handling, rng.Fork())
 	sys.Run(horizon)
+	simSpan.End()
 
 	plan := tb.keylogPlan()
+	emitSpan := stageEmit.Start()
 	raw := sys.Emanations(horizon, plan)
+	emitSpan.End()
+	chSpan := stageChannel.Start()
 	field := emchannel.Apply(raw, plan.SampleRate, tb.Channel, rng.Fork())
+	chSpan.End()
 	dsp.PutIQ(raw)
 	radio := tb.Radio
 	radio.SampleRate = plan.SampleRate
+	sdrSpan := stageSDR.Start()
 	cap := sdr.Acquire(field, plan.CenterFreqHz, radio, rng.Fork())
+	sdrSpan.End()
 	dsp.PutIQ(field)
 
 	detCfg := keylog.DefaultDetectorConfig()
@@ -329,7 +359,9 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 	if cfg.Parallelism != 0 {
 		detCfg.Parallelism = cfg.Parallelism
 	}
+	detSpan := stageDetect.Start()
 	det := keylog.Detect(cap, detCfg)
+	detSpan.End()
 	cap.Recycle()
 
 	groups := keylog.GroupWords(det.Keystrokes, 0)

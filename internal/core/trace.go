@@ -7,6 +7,7 @@ import (
 
 	"pmuleak/internal/covert"
 	"pmuleak/internal/laptop"
+	"pmuleak/internal/telemetry"
 	"pmuleak/internal/xrand"
 )
 
@@ -28,8 +29,11 @@ type txTrace struct {
 
 // simulateTxTrace runs the transmitter side from scratch: kernel
 // simulation, EM synthesis, nothing channel- or receiver-dependent.
-// cfg must already be filled (cfg.fill).
+// cfg must already be filled (cfg.fill). The two transmitter-side
+// pipeline stages are spanned separately: stage.simulate is the kernel
+// and PMU simulation, stage.emit the VRM/EM field synthesis.
 func (tb *Testbed) simulateTxTrace(cfg CovertConfig) *txTrace {
+	simSpan := stageSimulate.Start()
 	sys := laptop.NewSystem(tb.Profile, tb.Seed)
 	defer sys.Close()
 
@@ -51,10 +55,13 @@ func (tb *Testbed) simulateTxTrace(cfg CovertConfig) *txTrace {
 
 	horizon := covert.AirtimeEstimate(frame, txCfg, tb.Profile.Kernel)
 	sys.Run(horizon)
+	simSpan.End()
 
+	emitSpan := stageEmit.Start()
 	plan := sys.DefaultPlan()
 	plan.SampleRate = tb.Radio.SampleRate
 	field := sys.Emanations(horizon, plan)
+	emitSpan.End()
 	return &txTrace{field: field, plan: plan, run: run, payload: payload, txCfg: txCfg}
 }
 
@@ -95,8 +102,18 @@ var (
 	traceEntries = make(map[string]*traceEntry)
 	traceTick    int64
 	traceCap     = 8
-	traceHits    atomic.Uint64
-	traceMisses  atomic.Uint64
+	// The hit/miss counters live on the telemetry registry (the -metrics
+	// snapshot's core.tracecache.* series); TraceCacheStats remains as a
+	// thin shim over them. Both are bumped under traceMu. hits+misses
+	// (total lookups) is deterministic for a given workload at every
+	// -jobs setting; the split between them is only deterministic while
+	// the working set fits in traceCap — once eviction starts, the LRU
+	// victim depends on concurrent access order, and an evicted key's
+	// next lookup is a re-miss.
+	traceHits      = telemetry.NewCounter("core.tracecache.hits")
+	traceMisses    = telemetry.NewCounter("core.tracecache.misses")
+	traceEvictions = telemetry.NewCounter("core.tracecache.evictions")
+	traceLive      = telemetry.NewGauge("core.tracecache.entries")
 	// traceDisabled's zero value leaves the cache ON by default.
 	traceDisabled atomic.Bool
 )
@@ -111,19 +128,25 @@ func SetTraceCacheEnabled(on bool) { traceDisabled.Store(!on) }
 func TraceCacheEnabled() bool { return !traceDisabled.Load() }
 
 // TraceCacheStats returns the cumulative hit and miss counts since the
-// last ResetTraceCache. A miss is a simulation; a hit is a replay.
+// last ResetTraceCache. A miss is a simulation; a hit is a replay. It
+// is a thin shim over the telemetry registry's core.tracecache.hits and
+// core.tracecache.misses counters, kept for callers that predate the
+// telemetry layer.
 func TraceCacheStats() (hits, misses uint64) {
 	return traceHits.Load(), traceMisses.Load()
 }
 
-// ResetTraceCache drops every cached trace and zeroes the counters.
+// ResetTraceCache drops every cached trace and zeroes the cache's
+// telemetry counters.
 func ResetTraceCache() {
 	traceMu.Lock()
 	traceEntries = make(map[string]*traceEntry)
 	traceTick = 0
+	traceLive.Set(0)
 	traceMu.Unlock()
-	traceHits.Store(0)
-	traceMisses.Store(0)
+	traceHits.Reset()
+	traceMisses.Reset()
+	traceEvictions.Reset()
 }
 
 // transmitterTrace returns the transmitter trace for (tb, cfg), from
@@ -144,9 +167,10 @@ func (tb *Testbed) transmitterTrace(cfg CovertConfig) (tr *txTrace, cached bool)
 		}
 		e = &traceEntry{}
 		traceEntries[key] = e
-		traceMisses.Add(1)
+		traceLive.Set(int64(len(traceEntries)))
+		traceMisses.Inc()
 	} else {
-		traceHits.Add(1)
+		traceHits.Inc()
 	}
 	traceTick++
 	e.used = traceTick
@@ -172,4 +196,5 @@ func evictOldestLocked() {
 		}
 	}
 	delete(traceEntries, oldKey)
+	traceEvictions.Inc()
 }

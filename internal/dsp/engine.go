@@ -6,6 +6,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pmuleak/internal/telemetry"
+)
+
+// Engine telemetry: one histogram observation per transform call (never
+// per frame — a frame is microseconds, a time.Now pair is not free at
+// that granularity) plus counters for the work fanned out. Frame and
+// segment totals are derived from the input geometry, so they are
+// deterministic for a fixed workload at every Parallelism.
+var (
+	engSTFTDur      = telemetry.NewHistogram("dsp.engine.stft")
+	engWelchDur     = telemetry.NewHistogram("dsp.engine.welch")
+	engSTFTFrames   = telemetry.NewCounter("dsp.engine.stft.frames")
+	engWelchSegs    = telemetry.NewCounter("dsp.engine.welch.segments")
+	engConvolves    = telemetry.NewCounter("dsp.engine.convolve.calls")
+	engOverlapSaves = telemetry.NewCounter("dsp.engine.overlapsave.calls")
 )
 
 // defaultParallelism is the process-wide worker count used by engines
@@ -122,6 +138,8 @@ func (e Engine) STFT(x []complex128, fftSize, hop int, window []float64, sampleR
 	if frames == 0 {
 		return s
 	}
+	defer engSTFTDur.Start().End()
+	engSTFTFrames.Add(uint64(frames))
 	plan := PlanFFT(fftSize)
 	w := e.workers()
 	if w > frames {
@@ -193,6 +211,8 @@ func (e Engine) WelchPSD(x []complex128, fftSize int) []float64 {
 	if segments == 0 {
 		return psd
 	}
+	defer engWelchDur.Start().End()
+	engWelchSegs.Add(uint64(segments))
 	plan := PlanFFT(fftSize)
 	w := e.workers()
 	if w > segments {
@@ -269,6 +289,7 @@ func (e Engine) Convolve(x, k []float64) []float64 {
 	if len(k) == 0 || len(x) == 0 {
 		return out
 	}
+	engConvolves.Inc()
 	e.Chunks(len(x), func(lo, hi int) { convolveRange(out, x, k, lo, hi) })
 	return out
 }
@@ -285,6 +306,7 @@ func (e Engine) OverlapSave(x, k []float64) []float64 {
 	if len(k) == 0 || len(x) == 0 {
 		return out
 	}
+	engOverlapSaves.Inc()
 	kl := len(k)
 	n := NextPowerOfTwo(4 * kl)
 	if n < 1024 {

@@ -1,6 +1,10 @@
 package dsp
 
-import "sync"
+import (
+	"sync"
+
+	"pmuleak/internal/telemetry"
+)
 
 // iqPool recycles IQ sample buffers for the channel/radio hot path.
 // The pool stores *[]complex128 (not []complex128) so Put does not
@@ -13,17 +17,32 @@ import "sync"
 // or cached trace may still reference it.
 var iqPool sync.Pool
 
+// The pool's accounting. Gets and puts count call sites and are
+// deterministic for a fixed workload; allocs and undersized-discards
+// depend on pool state (sync.Pool empties under GC pressure and is
+// per-P), so they legitimately vary run to run and across -jobs
+// settings.
+var (
+	iqGets     = telemetry.NewCounter("dsp.iqpool.gets")
+	iqPuts     = telemetry.NewCounter("dsp.iqpool.puts")
+	iqAllocs   = telemetry.NewCounter("dsp.iqpool.allocs")
+	iqDiscards = telemetry.NewCounter("dsp.iqpool.undersized_discards")
+)
+
 // GetIQ returns a []complex128 of length n, reusing a pooled buffer
 // when one with sufficient capacity is available. Contents are not
 // zeroed.
 func GetIQ(n int) []complex128 {
+	iqGets.Inc()
 	if v := iqPool.Get(); v != nil {
 		buf := *(v.(*[]complex128))
 		if cap(buf) >= n {
 			return buf[:n]
 		}
 		// Too small for this request; drop it and allocate.
+		iqDiscards.Inc()
 	}
+	iqAllocs.Inc()
 	return make([]complex128, n)
 }
 
@@ -33,6 +52,7 @@ func PutIQ(buf []complex128) {
 	if cap(buf) == 0 {
 		return
 	}
+	iqPuts.Inc()
 	buf = buf[:cap(buf)]
 	iqPool.Put(&buf)
 }

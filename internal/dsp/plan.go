@@ -6,6 +6,8 @@ import (
 	"math/bits"
 	"math/cmplx"
 	"sync"
+
+	"pmuleak/internal/telemetry"
 )
 
 // FFTPlan holds the precomputed tables for one radix-2 transform size:
@@ -33,6 +35,16 @@ type FFTPlan struct {
 // two per pipeline), so entries are never evicted.
 var planCache sync.Map
 
+// The plan-cache counters. A miss is counted only by the goroutine
+// whose plan actually lands in the cache (LoadOrStore loaded==false),
+// so misses equal the number of distinct sizes planned and both series
+// are deterministic for a given workload even when concurrent callers
+// race to build the same first plan.
+var (
+	planHits   = telemetry.NewCounter("dsp.fftplan.hits")
+	planMisses = telemetry.NewCounter("dsp.fftplan.misses")
+)
+
 // PlanFFT returns the shared transform plan for size n, computing and
 // caching it on first use. n must be a positive power of two; anything
 // else panics, mirroring FFT's own contract.
@@ -41,9 +53,15 @@ func PlanFFT(n int) *FFTPlan {
 		panic(fmt.Sprintf("dsp: PlanFFT size %d is not a power of two", n))
 	}
 	if p, ok := planCache.Load(n); ok {
+		planHits.Inc()
 		return p.(*FFTPlan)
 	}
-	p, _ := planCache.LoadOrStore(n, newFFTPlan(n))
+	p, loaded := planCache.LoadOrStore(n, newFFTPlan(n))
+	if loaded {
+		planHits.Inc()
+	} else {
+		planMisses.Inc()
+	}
 	return p.(*FFTPlan)
 }
 

@@ -10,7 +10,16 @@ import (
 	"math"
 
 	"pmuleak/internal/dsp"
+	"pmuleak/internal/telemetry"
 	"pmuleak/internal/xrand"
+)
+
+// Channel telemetry: propagations run and IQ samples produced. Both are
+// functions of the experiment configuration alone, so they are
+// deterministic across runs and -jobs settings.
+var (
+	chApplies = telemetry.NewCounter("emchannel.applies")
+	chSamples = telemetry.NewCounter("emchannel.samples")
 )
 
 // InterfererKind selects the interference waveform.
@@ -122,6 +131,8 @@ func Apply(iq []complex128, sampleRate float64, cfg Config, rng *xrand.Source) [
 	if sampleRate <= 0 {
 		panic("emchannel: sampleRate must be positive")
 	}
+	chApplies.Inc()
+	chSamples.Add(uint64(len(iq)))
 	gain := cfg.PathGain()
 	// Pooled buffer: the gain loop below overwrites every element before
 	// any read-modify op, so no zeroing is needed.

@@ -22,8 +22,18 @@ import (
 	"pmuleak/internal/sdr"
 	"pmuleak/internal/sim"
 	"pmuleak/internal/sweep"
+	"pmuleak/internal/telemetry"
 	"pmuleak/internal/xrand"
 )
+
+// expSpan opens the per-runner telemetry span: one histogram per
+// experiment under experiment.<name>, created lazily so the snapshot's
+// key set reflects exactly the runners that executed (paperbench -only
+// narrows it). Runners that reuse other runners (Fig9 calls TableII)
+// record both spans, nested.
+func expSpan(name string) telemetry.Span {
+	return telemetry.NewHistogram("experiment." + name).Start()
+}
 
 // Scale trades experiment fidelity for runtime. Tests and smoke runs
 // use Quick; the paperbench binary defaults to Full.
@@ -54,6 +64,7 @@ type Fig2Result struct {
 // Fig2 runs the Fig. 1 micro-benchmark and measures the alternating
 // spike pattern of Fig. 2.
 func Fig2(seed int64) Fig2Result {
+	defer expSpan("fig2").End()
 	tb := core.NewTestbed(core.WithSeed(seed))
 	s := tb.MicrobenchSpectrogram(2*sim.Millisecond, 2*sim.Millisecond, 20)
 	f0 := tb.Profile.VRM.SwitchingFreqHz
@@ -82,6 +93,7 @@ func Fig2(seed int64) Fig2Result {
 // Sec3Ablation reruns the micro-benchmark under the four P-/C-state
 // BIOS combinations.
 func Sec3Ablation(seed int64) []core.AblationRow {
+	defer expSpan("sec3").End()
 	tb := core.NewTestbed(core.WithSeed(seed))
 	return tb.StateAblation(2*sim.Millisecond, 2*sim.Millisecond, 15)
 }
@@ -109,6 +121,7 @@ type PipelineResult struct {
 // Pipeline runs one near-field transfer and extracts the Figs. 4-7
 // statistics from the receiver's intermediate traces.
 func Pipeline(seed int64, scale Scale) PipelineResult {
+	defer expSpan("pipeline").End()
 	tb := core.NewTestbed(core.WithSeed(seed))
 	res := tb.RunCovert(core.CovertConfig{PayloadBits: scale.PayloadBits})
 	d := res.Demod
@@ -149,6 +162,7 @@ type Fig8Result struct {
 // Fig8 measures insertion/deletion behaviour with the background hog
 // running (the paper's "other system activity" scenario).
 func Fig8(seed int64, scale Scale) Fig8Result {
+	defer expSpan("fig8").End()
 	cells := sweep.Map(2, func(i int) covert.Measurement {
 		tb := core.NewTestbed(core.WithSeed(seed))
 		return tb.RunCovert(core.CovertConfig{
@@ -182,6 +196,7 @@ func (r TableIIRow) String() string {
 // average is reduced in run order, so the table is bit-identical to the
 // old serial loop.
 func TableII(seed int64, scale Scale) []TableIIRow {
+	defer expSpan("table2").End()
 	profiles := laptop.Profiles()
 	cells := sweep.Map(len(profiles)*scale.Runs, func(c int) covert.Measurement {
 		i, r := c/scale.Runs, c%scale.Runs
@@ -210,6 +225,7 @@ func TableII(seed int64, scale Scale) []TableIIRow {
 // needed to hold the near-field error rate under load, averaged over
 // several independent runs (rate searches on single frames are noisy).
 func BackgroundLoadTRDrop(seed int64, scale Scale) (quiet, loaded float64) {
+	defer expSpan("background").End()
 	const target = 0.012
 	const runs = 3
 	type pair struct{ q, l float64 }
@@ -258,6 +274,7 @@ func (f Fig9Result) Speedup() float64 {
 // the Table II measurement (the MacBooks, which run at ~3 kbps with a
 // percent-level BER).
 func Fig9(seed int64, scale Scale) Fig9Result {
+	defer expSpan("fig9").End()
 	const targetBER = 1e-2
 	rows := baselines.Compare(targetBER, 4000, seed)
 	var proposed float64
@@ -291,6 +308,7 @@ func (r TableIIIRow) String() string {
 // TableIII sweeps the loop antenna over the paper's distances, lowering
 // the rate at each distance until the error rate meets the target.
 func TableIII(seed int64, scale Scale) []TableIIIRow {
+	defer expSpan("table3").End()
 	distances := []float64{1.0, 1.5, 2.5}
 	return sweep.Map(len(distances), func(i int) TableIIIRow {
 		tb := core.NewTestbed(
@@ -315,6 +333,7 @@ func TableIII(seed int64, scale Scale) []TableIIIRow {
 
 // NLoS runs the Fig. 10 office scenario.
 func NLoS(seed int64, scale Scale) TableIIIRow {
+	defer expSpan("nlos").End()
 	tb := core.NLoSOffice(seed)
 	res, ok := tb.RateSearch(1.5e-2, core.CovertConfig{PayloadBits: scale.PayloadBits})
 	return TableIIIRow{
@@ -343,6 +362,7 @@ type Fig11Result struct {
 // Fig11 renders the "can you hear me" spectrogram and counts the
 // per-key bursts visible in the spike band.
 func Fig11(seed int64) Fig11Result {
+	defer expSpan("fig11").End()
 	tb := core.NewTestbed(core.WithSeed(seed))
 	text := "can you hear me"
 	s, events := tb.KeylogSpectrogram(text)
@@ -381,6 +401,7 @@ func (r TableIVRow) String() string {
 // TableIV measures keylogging accuracy at the paper's three placements:
 // 10 cm probe, 2 m loop antenna, and 1.5 m through the wall.
 func TableIV(seed int64, scale Scale) []TableIVRow {
+	defer expSpan("table4").End()
 	placements := []struct {
 		name string
 		opts []core.Option
@@ -418,6 +439,7 @@ type AblationResult struct {
 
 // ReceiverAblations evaluates the DESIGN.md §6 receiver design choices.
 func ReceiverAblations(seed int64, scale Scale) []AblationResult {
+	defer expSpan("ablations").End()
 	var out []AblationResult
 
 	// Multi-harmonic acquisition (Eq. 1 with |S|=2 vs fundamental
@@ -490,6 +512,7 @@ func ReceiverAblations(seed int64, scale Scale) []AblationResult {
 // Countermeasures evaluates the §VI defense set against both attacks at
 // the 2 m attacker placement.
 func Countermeasures(seed int64, scale Scale) []defense.Outcome {
+	defer expSpan("countermeasures").End()
 	return defense.Evaluate(defense.Standard(), seed, scale.PayloadBits, scale.Words)
 }
 
@@ -507,6 +530,7 @@ type FingerprintResult struct {
 // Fingerprint trains and evaluates the page-load classifier near-field
 // and at 2 m.
 func Fingerprint(seed int64, scale Scale) FingerprintResult {
+	defer expSpan("fingerprint").End()
 	catalog := fingerprint.DefaultCatalog()
 	trials := scale.Runs + 1
 	near := func(s int64) *core.Testbed {
@@ -565,6 +589,7 @@ type MultiCoreResult struct {
 // MultiCoreIsolation runs the near-field covert channel on a dual-core
 // target under three background placements.
 func MultiCoreIsolation(seed int64, scale Scale) MultiCoreResult {
+	defer expSpan("multicore").End()
 	run := func(hogCore int) float64 {
 		prof := laptop.Reference()
 		prof.Kernel.Cores = 2
@@ -647,6 +672,7 @@ func (r UtilizationLeakResult) Monotone() bool {
 // duty levels on a Speed-Shift-style target and measures the VRM band
 // amplitude during the active phases.
 func UtilizationLeak(seed int64) UtilizationLeakResult {
+	defer expSpan("utilization").End()
 	duties := []float64{0.25, 0.5, 0.75, 1.0}
 	res := UtilizationLeakResult{Duty: duties}
 	res.Amplitude = sweep.Map(len(duties), func(i int) float64 {
@@ -719,6 +745,7 @@ func (r DictionaryResult) Top3Rate() float64 {
 // the full keylogging pipeline at 2 m, groups words, and ranks
 // candidates by timing correlation.
 func Dictionary(seed int64, scale Scale) DictionaryResult {
+	defer expSpan("dictionary").End()
 	dict := keylog.CommonWords()
 	// Compose a text of dictionary words.
 	rng := xrand.New(seed)
@@ -786,6 +813,7 @@ type WaterfallPoint struct {
 // Waterfall sweeps the environmental noise floor at the 2 m placement,
 // rate-searching at each level.
 func Waterfall(seed int64, scale Scale) []WaterfallPoint {
+	defer expSpan("waterfall").End()
 	sigmas := []float64{0.001, 0.002, 0.004, 0.008, 0.016}
 	return sweep.Map(len(sigmas), func(i int) WaterfallPoint {
 		tb := core.NewTestbed(
@@ -824,6 +852,7 @@ type SleepFloorPoint struct {
 // laptop. As the period approaches the timer jitter, the relative
 // timing variability explodes and the channel error rate follows.
 func SleepFloor(seed int64, scale Scale) []SleepFloorPoint {
+	defer expSpan("sleepfloor").End()
 	periods := []sim.Time{
 		200 * sim.Microsecond,
 		100 * sim.Microsecond,

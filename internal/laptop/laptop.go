@@ -8,6 +8,7 @@ package laptop
 
 import (
 	"fmt"
+	"strings"
 
 	"pmuleak/internal/em"
 	"pmuleak/internal/kernel"
@@ -193,6 +194,23 @@ func ByModel(model string) (Profile, bool) {
 		}
 	}
 	return Profile{}, false
+}
+
+// Lookup looks a profile up by its model string, returning a
+// self-explanatory error on a miss: the unknown name plus the full list
+// of valid models, so every command-line tool reports the same hint
+// without rolling its own. Tools should treat the error as a usage
+// problem (exit code 2).
+func Lookup(model string) (Profile, error) {
+	if p, ok := ByModel(model); ok {
+		return p, nil
+	}
+	names := make([]string, 0, 6)
+	for _, p := range Profiles() {
+		names = append(names, fmt.Sprintf("%q", p.Model))
+	}
+	return Profile{}, fmt.Errorf("unknown laptop %s (valid models: %s)",
+		fmt.Sprintf("%q", model), strings.Join(names, ", "))
 }
 
 // Reference returns the Dell Inspiron, the laptop the paper uses for its

@@ -1,6 +1,7 @@
 package laptop
 
 import (
+	"strings"
 	"testing"
 
 	"pmuleak/internal/dsp"
@@ -245,5 +246,28 @@ func TestMultiCoreProfilePath(t *testing.T) {
 	iq := sys.Emanations(horizon, sys.DefaultPlan())
 	if em.RMS(iq) <= 0 {
 		t.Fatal("multi-core path produced no emission")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, p := range Profiles() {
+		got, err := Lookup(p.Model)
+		if err != nil {
+			t.Errorf("Lookup(%q): unexpected error: %v", p.Model, err)
+			continue
+		}
+		if got.Model != p.Model {
+			t.Errorf("Lookup(%q) returned model %q", p.Model, got.Model)
+		}
+	}
+	_, err := Lookup("Amiga 500")
+	if err == nil {
+		t.Fatal("Lookup of an unknown model did not error")
+	}
+	msg := err.Error()
+	for _, p := range Profiles() {
+		if !strings.Contains(msg, p.Model) {
+			t.Errorf("Lookup error %q does not list valid model %q", msg, p.Model)
+		}
 	}
 }

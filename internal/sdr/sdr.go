@@ -12,7 +12,19 @@ import (
 	"sync/atomic"
 
 	"pmuleak/internal/dsp"
+	"pmuleak/internal/telemetry"
 	"pmuleak/internal/xrand"
+)
+
+// Receiver telemetry. Captures, samples, and clipped counts follow
+// deterministically from the experiment configuration; recycles count
+// Capture.Recycle calls (the capture's buffer returning to the IQ
+// pool).
+var (
+	sdrCaptures = telemetry.NewCounter("sdr.captures")
+	sdrSamples  = telemetry.NewCounter("sdr.samples")
+	sdrClipped  = telemetry.NewCounter("sdr.samples_clipped")
+	sdrRecycles = telemetry.NewCounter("sdr.captures_recycled")
 )
 
 // Antenna describes the pickup device.
@@ -116,6 +128,7 @@ func (c *Capture) Duration() float64 {
 // consumed (demodulated / detected / rendered) — any slice still
 // aliasing c.IQ becomes invalid.
 func (c *Capture) Recycle() {
+	sdrRecycles.Inc()
 	dsp.PutIQ(c.IQ)
 	c.IQ = nil
 }
@@ -182,6 +195,9 @@ func Acquire(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Sourc
 	})
 	cap.Clipped = int(clipped.Load())
 	cap.IQ = out
+	sdrCaptures.Inc()
+	sdrSamples.Add(uint64(len(out)))
+	sdrClipped.Add(uint64(cap.Clipped))
 	return cap
 }
 

@@ -17,6 +17,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pmuleak/internal/telemetry"
+)
+
+// Orchestrator telemetry. Grid and cell counts are deterministic for a
+// fixed workload at every jobs setting; cell durations are wall-clock.
+// sweep.workers.active is the instantaneous occupancy (workers
+// currently executing cells) and the sweep.cell histogram's sum_ns is
+// the total busy time, so mean occupancy over a run is
+// sum_ns / (wall time × worker count).
+var (
+	sweepGrids   = telemetry.NewCounter("sweep.grids")
+	sweepCells   = telemetry.NewCounter("sweep.cells")
+	sweepActive  = telemetry.NewGauge("sweep.workers.active")
+	sweepCellDur = telemetry.NewHistogram("sweep.cell")
 )
 
 // defaultJobs is the process-wide worker count used by Map when the
@@ -72,14 +87,20 @@ func MapJobs[T any](jobs, n int, cell func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
+	sweepGrids.Inc()
+	sweepCells.Add(uint64(n))
 	out := make([]T, n)
 	w := resolve(jobs)
 	if w > n {
 		w = n
 	}
 	if w == 1 {
+		sweepActive.Add(1)
+		defer sweepActive.Add(-1)
 		for i := range out {
+			sp := sweepCellDur.Start()
 			out[i] = cell(i)
+			sp.End()
 		}
 		return out
 	}
@@ -92,6 +113,8 @@ func MapJobs[T any](jobs, n int, cell func(i int) T) []T {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sweepActive.Add(1)
+			defer sweepActive.Add(-1)
 			defer func() {
 				if r := recover(); r != nil {
 					panicked.CompareAndSwap(nil, &r)
@@ -102,7 +125,9 @@ func MapJobs[T any](jobs, n int, cell func(i int) T) []T {
 				if i >= n {
 					return
 				}
+				sp := sweepCellDur.Start()
 				out[i] = cell(i)
+				sp.End()
 			}
 		}()
 	}

@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.concurrent")
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Load(), uint64(goroutines*perG); got != want {
+		t.Fatalf("concurrent counter = %d, want %d", got, want)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test.gauge")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestRegistryReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter(x) not idempotent")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram(h) not idempotent")
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter name did not panic")
+		}
+	}()
+	r.Gauge("name")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		d       time.Duration
+		upperNs int64
+	}{
+		{0, 1},                     // non-positive → the d<=0 bucket
+		{-5, 1},                    //
+		{1, 2},                     // [1,2)
+		{2, 4},                     // [2,4)
+		{3, 4},                     //
+		{1023, 1024},               // [512,1024)
+		{1024, 2048},               // [1024,2048)
+		{1500, 2048},               //
+		{time.Hour, 1 << 40},       // beyond the top bound clamps
+		{100 * time.Hour, 1 << 40}, //
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.d)
+		s := h.snapshot()
+		if len(s.Buckets) != 1 {
+			t.Fatalf("Observe(%v): %d non-empty buckets, want 1", tc.d, len(s.Buckets))
+		}
+		if s.Buckets[0].UpperNs != tc.upperNs {
+			t.Errorf("Observe(%v): bucket bound %d, want %d", tc.d, s.Buckets[0].UpperNs, tc.upperNs)
+		}
+		if s.Buckets[0].Count != 1 {
+			t.Errorf("Observe(%v): bucket count %d, want 1", tc.d, s.Buckets[0].Count)
+		}
+	}
+}
+
+func TestHistogramSumCountMean(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{10, 20, 30} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 60 {
+		t.Errorf("sum = %v, want 60ns", h.Sum())
+	}
+	if m := h.snapshot().Mean(); m != 20 {
+		t.Errorf("mean = %v, want 20ns", m)
+	}
+}
+
+func TestHistogramBucketsAscendingAndComplete(t *testing.T) {
+	var h Histogram
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(i * 37))
+	}
+	s := h.snapshot()
+	var total uint64
+	last := int64(0)
+	for _, b := range s.Buckets {
+		if b.UpperNs <= last {
+			t.Fatalf("bucket bounds not strictly ascending: %d after %d", b.UpperNs, last)
+		}
+		last = b.UpperNs
+		total += b.Count
+	}
+	if total != n {
+		t.Errorf("bucket counts sum to %d, want %d", total, n)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(goroutines*perG); got != want {
+		t.Fatalf("concurrent histogram count = %d, want %d", got, want)
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	var h Histogram
+	sp := h.Start()
+	sp.End()
+	if h.Count() != 1 {
+		t.Fatalf("span did not record: count = %d", h.Count())
+	}
+	// The zero span must be a no-op.
+	var zero Span
+	zero.End()
+}
+
+// TestSnapshotDeterministicJSON is the serialization contract: two
+// registries holding the same values — populated in different orders
+// from different goroutine interleavings — must serialize to identical
+// bytes.
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func(order []int) []byte {
+		r := NewRegistry()
+		for _, i := range order {
+			r.Counter(fmt.Sprintf("c.%d", i)).Add(uint64(i))
+			r.Gauge(fmt.Sprintf("g.%d", i)).Set(int64(i))
+			r.Histogram(fmt.Sprintf("h.%d", i)).Observe(time.Duration(i + 1))
+		}
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build([]int{1, 2, 3, 4, 5})
+	b := build([]int{5, 3, 1, 4, 2})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ by registration order:\n%s\nvs\n%s", a, b)
+	}
+	if !json.Valid(a) {
+		t.Fatal("snapshot is not valid JSON")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(42)
+	r.Histogram("dur").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Counters["hits"] != 42 {
+		t.Errorf("round-tripped counter = %d, want 42", back.Counters["hits"])
+	}
+	if back.Histograms["dur"].Count != 1 {
+		t.Errorf("round-tripped histogram count = %d, want 1", back.Histograms["dur"].Count)
+	}
+}
+
+func TestResetZeroesButKeepsIdentity(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(7)
+	h.Observe(time.Second)
+	r.Reset()
+	if c.Load() != 0 {
+		t.Errorf("counter survived reset: %d", c.Load())
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("histogram survived reset: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if r.Counter("c") != c {
+		t.Error("reset changed metric identity")
+	}
+	c.Inc() // held pointer still live
+	if r.Snapshot().Counters["c"] != 1 {
+		t.Error("held pointer disconnected from registry after reset")
+	}
+}
+
+func TestSortedNameAccessors(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z", "a", "m"} {
+		r.Counter("c." + n)
+		r.Gauge("g." + n)
+		r.Histogram("h." + n)
+	}
+	s := r.Snapshot()
+	wantC := []string{"c.a", "c.m", "c.z"}
+	for i, n := range s.CounterNames() {
+		if n != wantC[i] {
+			t.Fatalf("CounterNames()[%d] = %q, want %q", i, n, wantC[i])
+		}
+	}
+	if got := s.GaugeNames(); len(got) != 3 || got[0] != "g.a" {
+		t.Errorf("GaugeNames() = %v", got)
+	}
+	if got := s.HistogramNames(); len(got) != 3 || got[2] != "h.z" {
+		t.Errorf("HistogramNames() = %v", got)
+	}
+}
