@@ -64,6 +64,10 @@ func main() {
 		))
 	}
 	tb := core.NewTestbed(opts...)
+	if err := tb.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "covert: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := core.CovertConfig{
 		PayloadBits: *bits,

@@ -57,6 +57,10 @@ func main() {
 		core.WithSeed(*seed),
 		core.WithDistance(*distance),
 	)
+	if err := tb.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "emscope: %v\n", err)
+		os.Exit(2)
+	}
 
 	switch *mode {
 	case "microbench":

@@ -50,6 +50,11 @@ func main() {
 		core.WithSeed(*seed),
 	)
 
+	if err := tb.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "keylog: %v\n", err)
+		os.Exit(2)
+	}
+
 	res := tb.RunKeylog(core.KeylogConfig{Text: *text, Words: *words})
 
 	fmt.Printf("target    : %s\n", prof)

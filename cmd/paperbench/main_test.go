@@ -106,7 +106,7 @@ func TestRegistryNamesUnique(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	if len(seen) != 19 {
-		t.Errorf("registry has %d experiments, want 19", len(seen))
+	if len(seen) != 20 {
+		t.Errorf("registry has %d experiments, want 20", len(seen))
 	}
 }

@@ -225,7 +225,47 @@ func registry() []experimentSpec {
 					a.Name, a.With, a.Without, a.Comment)
 			}
 		}},
+
+		{"robustness", func(w io.Writer, rc runContext) {
+			fmt.Fprint(w, experiments.Banner("Acquisition-fault robustness (measured extension)"))
+			res := experiments.Robustness(rc.Seed, rc.Scale)
+			fmt.Fprintf(w, "claim   : the batch receiver degrades gracefully under acquisition faults\n")
+			for i, drift := range res.DriftPPMs {
+				for j, gain := range res.GainDBs {
+					fmt.Fprintf(w, "measured: drift %3.0fppm gain %2.0fdB : BER", drift, gain)
+					for _, pt := range res.Row(i, j) {
+						fmt.Fprintf(w, " %.1e", pt.ResyncBER)
+					}
+					fmt.Fprintf(w, "  (drops/s")
+					for _, r := range res.DropRates {
+						fmt.Fprintf(w, " %.0f", r)
+					}
+					fmt.Fprintf(w, "; monotone in drops=%v)\n", monotoneRow(res.Row(i, j)))
+				}
+			}
+			if res.KneeDropRate >= 0 {
+				fmt.Fprintf(w, "measured: ECC knee — Hamming(7,4)+interleave stops saving the payload at %.0f drops/s\n",
+					res.KneeDropRate)
+			} else {
+				fmt.Fprintf(w, "measured: ECC knee — payload survived the whole drop sweep\n")
+			}
+			for _, kp := range res.Keylog {
+				fmt.Fprintf(w, "measured: keystroke F1 at %2.0fdB gain steps (%2d events): plain %.2f, gap-aware %.2f\n",
+					kp.GainStepDB, kp.GainSteps, kp.PlainF1, kp.GapAwareF1)
+			}
+		}},
 	}
+}
+
+// monotoneRow reports whether BER is non-decreasing along a drop-rate
+// row of the robustness grid.
+func monotoneRow(row []experiments.RobustnessPoint) bool {
+	for i := 1; i < len(row); i++ {
+		if row[i].ResyncBER < row[i-1].ResyncBER {
+			return false
+		}
+	}
+	return true
 }
 
 // registryNames returns the -only names in presentation order.

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmuleak/internal/telemetry"
+)
+
+// TestRobustnessSpecEmitsFaultTelemetry renders the robustness
+// experiment through its registry entry and asserts the fault
+// injector's counters actually moved — the -metrics snapshot a user
+// asks for with `paperbench -only robustness -metrics out.json` must
+// carry the faults.* series.
+func TestRobustnessSpecEmitsFaultTelemetry(t *testing.T) {
+	var spec experimentSpec
+	for _, s := range registry() {
+		if s.Name == "robustness" {
+			spec = s
+			break
+		}
+	}
+	if spec.Run == nil {
+		t.Fatal("robustness experiment not registered")
+	}
+
+	before := telemetry.Capture()
+	var buf bytes.Buffer
+	spec.Run(&buf, runContext{Seed: 2020, Scale: goldenScale})
+	after := telemetry.Capture()
+
+	for _, name := range []string{
+		"faults.applies", "faults.drops", "faults.dropped_samples",
+		"faults.drift_ppm", "faults.gain_steps",
+	} {
+		if after.Counters[name] <= before.Counters[name] {
+			t.Errorf("counter %s did not advance (%d -> %d)",
+				name, before.Counters[name], after.Counters[name])
+		}
+	}
+
+	out := buf.String()
+	for _, want := range []string{"ECC knee", "keystroke F1", "monotone in drops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("robustness report missing %q:\n%s", want, out)
+		}
+	}
+}

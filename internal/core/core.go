@@ -15,6 +15,7 @@ import (
 	"pmuleak/internal/covert"
 	"pmuleak/internal/dsp"
 	"pmuleak/internal/emchannel"
+	"pmuleak/internal/faults"
 	"pmuleak/internal/kernel"
 	"pmuleak/internal/keylog"
 	"pmuleak/internal/laptop"
@@ -37,9 +38,15 @@ var (
 	stageEmit     = telemetry.NewHistogram("stage.emit")
 	stageChannel  = telemetry.NewHistogram("stage.emchannel")
 	stageSDR      = telemetry.NewHistogram("stage.sdr")
+	stageFaults   = telemetry.NewHistogram("stage.faults")
 	stageDemod    = telemetry.NewHistogram("stage.demod")
 	stageDetect   = telemetry.NewHistogram("stage.detect")
 )
+
+// faultSeedOffset derives the fault injector's stream from the testbed
+// seed, distinct from the channel (104729), receiver (500), and typist
+// (13) offsets so enabling faults never perturbs those streams.
+const faultSeedOffset = 424243
 
 // Testbed is one measurement setup: a target laptop, the EM path to the
 // attacker's antenna, and the receiver. Construct with NewTestbed.
@@ -109,6 +116,18 @@ func NewTestbed(opts ...Option) *Testbed {
 	return tb
 }
 
+// Validate reports configuration errors in the assembled testbed — the
+// checks emchannel.Apply and sdr.Acquire would otherwise panic on deep
+// inside a run. Command-line tools call it right after flag parsing so
+// a bad -distance or -noise exits with a message instead of a stack
+// trace.
+func (tb *Testbed) Validate() error {
+	if err := tb.Channel.Validate(); err != nil {
+		return err
+	}
+	return tb.Radio.Validate()
+}
+
 // NLoSOffice returns the Fig. 10 setup: loop antenna 1.5 m away behind a
 // 35 cm wall, with the printer and refrigerator interferers present.
 func NLoSOffice(seed int64) *Testbed {
@@ -149,6 +168,19 @@ type CovertConfig struct {
 	// default, 1 = serial). Parallel and serial paths are
 	// bit-identical, so it only affects wall-clock time.
 	Parallelism int
+	// Faults injects acquisition faults (USB overrun drops, clock ppm
+	// error, AGC gain steps, saturation bursts, truncation) into the
+	// capture between sdr.Acquire and the demodulator. The zero value
+	// injects nothing. The fault schedule derives from the testbed
+	// seed, so it is reproducible and independent of -jobs; it is
+	// receiver-side, so transmitter-trace cache hits are unaffected.
+	Faults faults.Config
+	// RXResync enables the receiver's per-batch period re-estimation
+	// (covert.RXConfig.Resync).
+	RXResync bool
+	// RXCarrierRetries bounds the receiver's carrier re-acquisition
+	// retries (covert.RXConfig.CarrierRetries).
+	RXCarrierRetries int
 }
 
 func (c *CovertConfig) fill(tb *Testbed) {
@@ -168,6 +200,9 @@ type CovertResult struct {
 	Demod   *covert.Demod
 	Payload []byte
 	TXCfg   covert.TXConfig
+	// Faults is the realized fault schedule (zero when no faults were
+	// configured).
+	Faults faults.Report
 }
 
 // RunCovert executes one full covert transfer: transmitter process on
@@ -204,10 +239,19 @@ func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
 	sdrSpan.End()
 	dsp.PutIQ(field) // Acquire copied what it needed
 
+	var faultRep faults.Report
+	if cfg.Faults.Enabled() {
+		faultSpan := stageFaults.Start()
+		faultRep = faults.MustNew(cfg.Faults, tb.Seed+faultSeedOffset).Apply(cap)
+		faultSpan.End()
+	}
+
 	rxCfg := covert.DefaultRXConfig()
 	rxCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
 	rxCfg.MinBitPeriod = tr.txCfg.BitPeriod() / 2
 	rxCfg.Parallelism = cfg.Parallelism
+	rxCfg.Resync = cfg.RXResync
+	rxCfg.CarrierRetries = cfg.RXCarrierRetries
 	if cfg.RXHarmonics > 0 {
 		rxCfg.NumHarmonics = cfg.RXHarmonics
 	}
@@ -220,6 +264,7 @@ func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
 		Demod:       demod,
 		Payload:     tr.payload,
 		TXCfg:       tr.txCfg,
+		Faults:      faultRep,
 	}
 	// Demodulate keeps no reference to the raw samples; recycle them.
 	cap.Recycle()
@@ -284,6 +329,13 @@ type KeylogConfig struct {
 	// default, 1 = serial); nonzero values override the Detector
 	// config's own knob. Parallel and serial paths are bit-identical.
 	Parallelism int
+	// Faults injects acquisition faults into the capture between
+	// sdr.Acquire and the detector (see CovertConfig.Faults).
+	Faults faults.Config
+	// GapAware turns on the detector's per-block threshold
+	// normalization (keylog.DetectorConfig.GapAware) without having to
+	// override the whole Detector config.
+	GapAware bool
 }
 
 // KeylogResult carries the Table IV metrics plus everything needed to
@@ -294,6 +346,9 @@ type KeylogResult struct {
 	Detection *keylog.Detection
 	Char      keylog.CharScore
 	Word      keylog.WordScore
+	// Faults is the realized fault schedule (zero when no faults were
+	// configured).
+	Faults faults.Report
 }
 
 // keylogPlan is the narrowband tuning used for keystroke detection: the
@@ -351,6 +406,13 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 	sdrSpan.End()
 	dsp.PutIQ(field)
 
+	var faultRep faults.Report
+	if cfg.Faults.Enabled() {
+		faultSpan := stageFaults.Start()
+		faultRep = faults.MustNew(cfg.Faults, tb.Seed+faultSeedOffset).Apply(cap)
+		faultSpan.End()
+	}
+
 	detCfg := keylog.DefaultDetectorConfig()
 	if cfg.Detector != nil {
 		detCfg = *cfg.Detector
@@ -358,6 +420,9 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 	detCfg.ExpectedF0 = tb.Profile.VRM.SwitchingFreqHz
 	if cfg.Parallelism != 0 {
 		detCfg.Parallelism = cfg.Parallelism
+	}
+	if cfg.GapAware {
+		detCfg.GapAware = true
 	}
 	detSpan := stageDetect.Start()
 	det := keylog.Detect(cap, detCfg)
@@ -371,6 +436,7 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 		Detection: det,
 		Char:      keylog.ScoreKeystrokes(events, det.Keystrokes, 30*sim.Millisecond),
 		Word:      keylog.ScoreWords(keylog.WordLengths(text), keylog.PredictedWordLengths(groups)),
+		Faults:    faultRep,
 	}
 }
 

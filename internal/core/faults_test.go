@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"pmuleak/internal/faults"
+)
+
+// covertBits extracts the decoded on-air bits for exact comparison.
+func covertBits(res *CovertResult) []byte { return res.Demod.Bits }
+
+// TestFaultsZeroConfigIdentical: a zero Faults config must leave the
+// entire covert result bit-identical to a run without the field set,
+// and enabling RXResync on a clean capture must not change the decoded
+// bits either (the divergence gate keeps healthy batches on the global
+// period).
+func TestFaultsZeroConfigIdentical(t *testing.T) {
+	tb := NewTestbed(WithSeed(11))
+	base := tb.RunCovert(CovertConfig{PayloadBits: 96})
+	faulted := tb.RunCovert(CovertConfig{PayloadBits: 96, Faults: faults.Config{}})
+	resync := tb.RunCovert(CovertConfig{PayloadBits: 96, RXResync: true, RXCarrierRetries: 2})
+
+	if string(covertBits(base)) != string(covertBits(faulted)) {
+		t.Error("zero Faults config changed decoded bits")
+	}
+	if string(covertBits(base)) != string(covertBits(resync)) {
+		t.Error("RXResync changed decoded bits on a clean capture")
+	}
+	if resync.Demod.Quality.Resyncs != 0 {
+		t.Errorf("clean capture performed %d resyncs", resync.Demod.Quality.Resyncs)
+	}
+	if resync.Demod.Quality.Retries != 0 {
+		t.Errorf("clean capture consumed %d carrier retries", resync.Demod.Quality.Retries)
+	}
+	if base.Faults != (faults.Report{InSamples: base.Faults.InSamples, OutSamples: base.Faults.OutSamples}) {
+		t.Errorf("unexpected fault report on clean run: %+v", base.Faults)
+	}
+}
+
+// TestResyncDominatesUnderFaults is the differential acceptance test:
+// at a pinned seed, across a drop-rate sweep (with the clock-drift
+// faults that make per-batch re-estimation matter), the resyncing
+// receiver's BER is never worse than the plain receiver's, and at zero
+// faults the two are exactly equal.
+func TestResyncDominatesUnderFaults(t *testing.T) {
+	tb := NewTestbed(WithSeed(5))
+	// The capture is only tens of ms long, so the rates are high
+	// enough that each nonzero cell realizes at least one drop.
+	dropRates := []float64{0, 100, 300, 800}
+	for _, rate := range dropRates {
+		fcfg := faults.Config{}
+		if rate > 0 {
+			fcfg = faults.Config{
+				DropRatePerS: rate,
+				ClockPPM:     120,
+				DriftPPMPerS: 60,
+			}
+		}
+		plain := tb.RunCovert(CovertConfig{PayloadBits: 96, Faults: fcfg})
+		resync := tb.RunCovert(CovertConfig{PayloadBits: 96, Faults: fcfg, RXResync: true, RXCarrierRetries: 2})
+
+		if rate == 0 {
+			if plain.ErrorRate() != resync.ErrorRate() {
+				t.Errorf("zero faults: BER(resync)=%v != BER(plain)=%v",
+					resync.ErrorRate(), plain.ErrorRate())
+			}
+			continue
+		}
+		if resync.ErrorRate() > plain.ErrorRate() {
+			t.Errorf("drop rate %v: BER(resync)=%v > BER(plain)=%v",
+				rate, resync.ErrorRate(), plain.ErrorRate())
+		}
+		if plain.Faults != resync.Faults {
+			t.Errorf("drop rate %v: fault schedules differ between receiver modes:\n%+v\n%+v",
+				rate, plain.Faults, resync.Faults)
+		}
+		if plain.Faults.Drops == 0 {
+			t.Errorf("drop rate %v realized no drops", rate)
+		}
+	}
+}
+
+// TestFaultReportSurfaced: the realized schedule lands in the result
+// and the capture got shorter accordingly.
+func TestFaultReportSurfaced(t *testing.T) {
+	tb := NewTestbed(WithSeed(3))
+	res := tb.RunCovert(CovertConfig{
+		PayloadBits: 96,
+		Faults:      faults.Config{DropRatePerS: 100, TruncateProb: 0},
+	})
+	if res.Faults.Drops == 0 {
+		t.Fatal("no drops realized at 100/s")
+	}
+	if res.Faults.OutSamples != res.Faults.InSamples-res.Faults.DroppedSamples {
+		t.Fatalf("inconsistent report: %+v", res.Faults)
+	}
+}
+
+// TestKeylogFaultsWired: the keylog path injects too, and GapAware
+// survives a gain-stepped capture with a usable F1.
+func TestKeylogFaultsWired(t *testing.T) {
+	tb := NewTestbed(WithSeed(9))
+	fcfg := faults.Config{GainStepRatePerS: 2, GainStepMaxDB: 6}
+	res := tb.RunKeylog(KeylogConfig{Words: 6, Faults: fcfg, GapAware: true})
+	if res.Faults.GainSteps == 0 {
+		t.Fatal("no gain steps realized on a multi-second keylog capture")
+	}
+	if res.Char.TPR == 0 && res.Char.FPR == 0 && len(res.Detection.Keystrokes) == 0 {
+		t.Error("gap-aware detector found nothing at mild gain-step intensity")
+	}
+}

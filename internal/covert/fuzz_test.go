@@ -69,6 +69,52 @@ func FuzzFindPreamble(f *testing.F) {
 	})
 }
 
+// FuzzFindPreambleUnderDamage injects the channel damage of the Fig. 8
+// regimes — bit deletions and insertions — into a well-formed frame and
+// checks FindPreamble's contract survives: no panic, in-bounds result,
+// and guaranteed sync whenever an intact copy of the preamble is still
+// present (damage landed past it). The seed corpus mirrors Fig. 8:
+// the quiet regime (no deletions; DP < 0.2%) and the loaded regime
+// (~1 deletion per 122 on-air bits).
+func FuzzFindPreambleUnderDamage(f *testing.F) {
+	pre := DefaultPreamble()
+	f.Add([]byte{1, 1, 0, 1, 0, 0, 1, 0}, uint16(0), uint16(0), false, false)       // quiet: intact
+	f.Add(bytes.Repeat([]byte{1, 0, 1, 1}, 30), uint16(61), uint16(0), true, false) // loaded: one deletion
+	f.Add(bytes.Repeat([]byte{0, 1}, 61), uint16(40), uint16(90), true, true)       // deletion + insertion
+	f.Add(bytes.Repeat([]byte{1}, 122), uint16(3), uint16(5), true, true)           // damage inside the preamble
+	f.Fuzz(func(t *testing.T, rawPayload []byte, delPos, insPos uint16, doDel, doIns bool) {
+		payload := make([]byte, len(rawPayload))
+		for i, b := range rawPayload {
+			payload[i] = b & 1
+		}
+		bits := append(append([]byte(nil), pre...), payload...)
+
+		damagedPastPreamble := true
+		if doDel && len(bits) > 0 {
+			p := int(delPos) % len(bits)
+			bits = append(bits[:p], bits[p+1:]...)
+			if p < len(pre) {
+				damagedPastPreamble = false
+			}
+		}
+		if doIns {
+			p := int(insPos) % (len(bits) + 1)
+			bits = append(bits[:p], append([]byte{1}, bits[p:]...)...)
+			if p < len(pre) {
+				damagedPastPreamble = false
+			}
+		}
+
+		start, ok := FindPreamble(bits, pre, len(pre)/4)
+		if ok && (start < len(pre) || start > len(bits)) {
+			t.Fatalf("payload start %d out of bounds (len %d)", start, len(bits))
+		}
+		if damagedPastPreamble && !ok {
+			t.Fatalf("intact preamble not found (del=%v ins=%v, %d bits)", doDel, doIns, len(bits))
+		}
+	})
+}
+
 // FuzzDemodulateParallelism round-trips the full demodulator over a
 // simulated capture under two arbitrary Parallelism settings and
 // asserts the decoded bits — and the recovered payload — are identical.

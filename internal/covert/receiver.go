@@ -38,6 +38,18 @@ type RXConfig struct {
 	// the PSD floor for the capture to be considered to contain a VRM
 	// carrier at all. Below it the demodulator reports no bits.
 	CarrierMinZ float64
+	// CarrierRetries bounds carrier re-acquisition: when the first
+	// spike search fails the gate, each retry widens the search (more
+	// candidate peaks, tighter peak spacing) and relaxes CarrierMinZ by
+	// 25%. Zero — the default — keeps the single-pass behavior.
+	CarrierRetries int
+	// Resync enables per-batch period re-estimation (§IV-B2 batch
+	// processing taken to its conclusion): estimatePeriod is re-run on
+	// each BatchBits window and, when the local period diverges from
+	// the global one by more than resyncDivergence, gap filling inside
+	// that window re-locks onto the local period. On a clean capture no
+	// window diverges and the decoded bits are identical to Resync off.
+	Resync bool
 	// Parallelism is the DSP engine's worker count: 0 picks the process
 	// default (normally all CPUs), 1 forces the exact legacy serial
 	// path, n > 1 uses n workers. The engine's parallel paths are
@@ -86,10 +98,37 @@ func (c RXConfig) Validate() error {
 	if c.CarrierMinZ <= 0 {
 		return fmt.Errorf("covert: CarrierMinZ must be positive")
 	}
+	if c.CarrierRetries < 0 || c.CarrierRetries > 8 {
+		return fmt.Errorf("covert: CarrierRetries %d out of range [0,8]", c.CarrierRetries)
+	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("covert: negative Parallelism")
 	}
 	return nil
+}
+
+// Quality is the receiver's structured self-assessment: instead of
+// silently returning fewer bits when the capture was damaged, the
+// demodulator reports how hard it had to work. Experiments use it to
+// correlate injected faults with decoder behavior.
+type Quality struct {
+	// CarrierZ is the robust z-score of the strongest selected spike
+	// over the PSD floor (compared against CarrierMinZ).
+	CarrierZ float64
+	// Retries is the number of carrier re-acquisition retries consumed
+	// before the gate passed (0 = first pass).
+	Retries int
+	// Resyncs counts batch windows whose local period diverged from
+	// the global estimate and were re-locked (Resync mode only).
+	Resyncs int
+	// BatchPeriods are the per-window signaling-period estimates in
+	// seconds (Resync mode only), global or local per the divergence
+	// gate — the trace of how the symbol period walked.
+	BatchPeriods []float64
+	// BatchConfidence is, per window, the fraction of inter-start
+	// distances within 10% of the period grid actually used — a
+	// per-batch decoding confidence in [0, 1].
+	BatchConfidence []float64
 }
 
 // Demod holds the receiver's intermediate traces and the decoded bits.
@@ -123,6 +162,9 @@ type Demod struct {
 	Threshold float64
 	// Bits is the decoded on-air bit sequence.
 	Bits []byte
+	// Quality is the receiver's self-assessment (carrier margin,
+	// retries, resyncs, per-batch confidence).
+	Quality Quality
 }
 
 // Demodulate runs the full §IV-B pipeline over a capture.
@@ -145,8 +187,29 @@ func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 	d.Offsets, spikePower = selectOffsets(psd, cap, cfg)
 	floor := dsp.Median(psd)
 	sigma := 1.4826 * dsp.MAD(psd)
-	if sigma <= 0 || (spikePower-floor)/sigma < cfg.CarrierMinZ {
+	if sigma <= 0 {
 		return d
+	}
+	d.Quality.CarrierZ = (spikePower - floor) / sigma
+	if d.Quality.CarrierZ < cfg.CarrierMinZ {
+		// Bounded re-acquisition: a gain step or saturation burst can
+		// smear the spike below the gate on the first look. Each retry
+		// admits more candidate peaks at tighter spacing and relaxes
+		// the gate by 25%, so a genuinely dead capture still fails
+		// every step while a damaged-but-live one re-locks.
+		ok := false
+		for r := 1; r <= cfg.CarrierRetries; r++ {
+			offsets, spike := selectOffsetsWiden(psd, cap, cfg, r)
+			z := (spike - floor) / sigma
+			if z >= cfg.CarrierMinZ*math.Pow(0.75, float64(r)) {
+				d.Offsets, d.Quality.CarrierZ, d.Quality.Retries = offsets, z, r
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return d
+		}
 	}
 	d.CarrierFound = true
 
@@ -205,7 +268,12 @@ func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 	if len(starts) == 0 {
 		return d
 	}
-	d.Starts, d.Inserted = fillGaps(starts, period, zeroPeriod(starts, period))
+	if cfg.Resync {
+		d.Starts, d.Inserted = fillGapsResync(starts, period,
+			zeroPeriod(starts, period), minPeriod, cfg.BatchBits, d.DT, &d.Quality)
+	} else {
+		d.Starts, d.Inserted = fillGaps(starts, period, zeroPeriod(starts, period))
+	}
 
 	// 6. Per-bit average power (Eq. 2) and bimodal threshold (Fig. 7).
 	// With return-to-zero coding a '1' is active only during the first
@@ -248,11 +316,20 @@ func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 // signaling (a narrower tracker) is the §IV-C3 remedy when the band is
 // polluted.
 func selectOffsets(psd []float64, cap *sdr.Capture, cfg RXConfig) ([]float64, float64) {
+	return selectOffsetsWiden(psd, cap, cfg, 0)
+}
+
+// selectOffsetsWiden is selectOffsets with a re-acquisition widening
+// level: each level admits one more candidate spike and halves the
+// minimum peak spacing, so a spike displaced or split by mid-capture
+// damage can still be found. Level 0 is the exact first-pass search.
+func selectOffsetsWiden(psd []float64, cap *sdr.Capture, cfg RXConfig, widen int) ([]float64, float64) {
 	m := cfg.FFTSize
 	usable := 0.46 * cap.SampleRate
+	numHarmonics := cfg.NumHarmonics + widen
 	var offsets []float64
 	if cfg.ExpectedF0 > 0 {
-		for k := 1; len(offsets) < cfg.NumHarmonics && float64(k)*cfg.ExpectedF0 < cap.SampleRate*3; k++ {
+		for k := 1; len(offsets) < numHarmonics && float64(k)*cfg.ExpectedF0 < cap.SampleRate*3; k++ {
 			off := float64(k)*cfg.ExpectedF0 - cap.CenterFreqHz
 			if math.Abs(off) <= usable {
 				offsets = append(offsets, off)
@@ -264,7 +341,11 @@ func selectOffsets(psd []float64, cap *sdr.Capture, cfg RXConfig) ([]float64, fl
 		// excluding DC.
 		work := append([]float64(nil), psd...)
 		work[0] = 0
-		peaks := dsp.FindPeaks(work, m/32, 0)
+		sep := m / 32 >> widen
+		if sep < 2 {
+			sep = 2
+		}
+		peaks := dsp.FindPeaks(work, sep, 0)
 		for i := 0; i < len(peaks); i++ {
 			for j := i + 1; j < len(peaks); j++ {
 				if work[peaks[j]] > work[peaks[i]] {
@@ -272,8 +353,8 @@ func selectOffsets(psd []float64, cap *sdr.Capture, cfg RXConfig) ([]float64, fl
 				}
 			}
 		}
-		if len(peaks) > cfg.NumHarmonics {
-			peaks = peaks[:cfg.NumHarmonics]
+		if len(peaks) > numHarmonics {
+			peaks = peaks[:numHarmonics]
 		}
 		for _, p := range peaks {
 			offsets = append(offsets, dsp.BinFrequency(p, m, cap.SampleRate))
@@ -474,6 +555,81 @@ func fillGaps(starts []int, period, zPeriod int) (filled []int, inserted int) {
 			inserted++
 		}
 		filled = append(filled, starts[i])
+	}
+	return filled, inserted
+}
+
+// resyncDivergence is the relative gate for per-batch period re-lock:
+// a window's local estimate must differ from the global period by more
+// than this fraction before it replaces it. The gate is what keeps the
+// Resync path bit-identical to the plain path on a clean capture —
+// healthy windows never diverge this far — while a clock that drifted
+// tens of ppm over a long capture does.
+const resyncDivergence = 0.02
+
+// fillGapsResync is fillGaps with §IV-B2 batch processing applied to
+// the period itself: estimatePeriod is re-run on every batchBits-wide
+// window of inter-start distances, and a window whose local period
+// diverges from the global one re-locks gap filling onto its own
+// estimate. Per-window periods and grid-fit confidences are recorded
+// in q.
+func fillGapsResync(starts []int, period, zPeriod, minPeriod, batchBits int, dt float64, q *Quality) (filled []int, inserted int) {
+	if len(starts) == 0 {
+		return nil, 0
+	}
+	if zPeriod <= 0 {
+		zPeriod = period
+	}
+	filled = append(filled, starts[0])
+	nDist := len(starts) - 1
+	for lo := 0; lo < nDist; lo += batchBits {
+		hi := lo + batchBits
+		if hi > nDist {
+			hi = nDist
+		}
+		local := make([]float64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			local = append(local, float64(starts[i+1]-starts[i])*dt)
+		}
+		used := period
+		if p := estimatePeriod(local, dt, minPeriod); math.Abs(float64(p-period))/float64(period) > resyncDivergence {
+			used = p
+			q.Resyncs++
+		}
+		// The zero-bit period scales with the window's period: both
+		// walk together under clock drift.
+		zUsed := int(math.Round(float64(zPeriod) * float64(used) / float64(period)))
+		if zUsed <= 0 {
+			zUsed = used
+		}
+		fit := 0
+		for _, g := range local {
+			gs := g / dt
+			if k := math.Round(gs / float64(used)); k >= 1 && math.Abs(gs-k*float64(used))/float64(used) < 0.1 {
+				fit++
+			}
+		}
+		q.BatchPeriods = append(q.BatchPeriods, float64(used)*dt)
+		q.BatchConfidence = append(q.BatchConfidence, float64(fit)/float64(len(local)))
+
+		for i := lo; i < hi; i++ {
+			gap := starts[i+1] - starts[i]
+			k := int(math.Round(float64(gap) / float64(used)))
+			if k >= 2 {
+				k = int(math.Round(float64(gap) / float64(zUsed)))
+				if k < 2 {
+					k = 2
+				}
+			}
+			if k > maxFillGap {
+				return filled, inserted
+			}
+			for j := 1; j < k; j++ {
+				filled = append(filled, starts[i]+j*gap/k)
+				inserted++
+			}
+			filled = append(filled, starts[i+1])
+		}
 	}
 	return filled, inserted
 }

@@ -1,0 +1,111 @@
+package covert
+
+import (
+	"math"
+	"testing"
+)
+
+// The self-healing knobs must be strict no-ops when off and bounded,
+// deterministic helpers when on. These tests drive the carrier
+// re-acquisition retry loop and the per-batch resync path directly.
+
+// TestCarrierRetryRecovers raises CarrierMinZ just above the capture's
+// actual spike z-score so the first acquisition pass fails, then checks
+// that one relaxation step (0.75 per retry) re-locks the carrier and is
+// reported in the quality block.
+func TestCarrierRetryRecovers(t *testing.T) {
+	cap, txCfg, _, prof := buildCapture(24, 9)
+	cfg := DefaultRXConfig()
+	cfg.ExpectedF0 = prof.VRM.SwitchingFreqHz
+	cfg.MinBitPeriod = txCfg.BitPeriod() / 2
+
+	base := Demodulate(cap, cfg)
+	if !base.CarrierFound {
+		t.Fatal("baseline capture has no carrier")
+	}
+	z := base.Quality.CarrierZ
+	if base.Quality.Retries != 0 {
+		t.Fatalf("baseline used %d retries", base.Quality.Retries)
+	}
+
+	// A threshold 10% above the measured z fails the first pass but is
+	// within one 0.75 relaxation step.
+	cfg.CarrierMinZ = z * 1.1
+
+	strict := Demodulate(cap, cfg)
+	if strict.CarrierFound {
+		t.Fatalf("carrier found at MinZ %.1f > z %.1f with no retries", cfg.CarrierMinZ, z)
+	}
+
+	cfg.CarrierRetries = 2
+	healed := Demodulate(cap, cfg)
+	if !healed.CarrierFound {
+		t.Fatal("retry loop did not re-acquire the carrier")
+	}
+	if healed.Quality.Retries < 1 || healed.Quality.Retries > 2 {
+		t.Fatalf("retries = %d, want 1..2", healed.Quality.Retries)
+	}
+	if len(healed.Bits) != len(base.Bits) {
+		t.Fatalf("healed decode has %d bits, baseline %d", len(healed.Bits), len(base.Bits))
+	}
+}
+
+// TestCarrierRetryBounded: with no carrier present at all, every retry
+// must be consumed and the demodulator must still give up cleanly.
+func TestCarrierRetryBounded(t *testing.T) {
+	cap, txCfg, _, prof := buildCapture(16, 11)
+	cfg := DefaultRXConfig()
+	cfg.ExpectedF0 = prof.VRM.SwitchingFreqHz
+	cfg.MinBitPeriod = txCfg.BitPeriod() / 2
+	cfg.CarrierMinZ = math.Inf(1) // unreachable even after relaxation
+	cfg.CarrierRetries = 4
+
+	d := Demodulate(cap, cfg)
+	if d.CarrierFound {
+		t.Fatal("carrier found against an infinite threshold")
+	}
+	if len(d.Bits) != 0 {
+		t.Fatalf("decoded %d bits without a carrier", len(d.Bits))
+	}
+}
+
+// TestResyncQualityReport: with Resync on, the quality block must carry
+// one period estimate and one confidence value per batch, the periods
+// must be near the transmitter's bit period, and the clean-capture
+// decode must stay bit-identical to the plain path.
+func TestResyncQualityReport(t *testing.T) {
+	cap, txCfg, _, prof := buildCapture(32, 5)
+	cfg := DefaultRXConfig()
+	cfg.ExpectedF0 = prof.VRM.SwitchingFreqHz
+	cfg.MinBitPeriod = txCfg.BitPeriod() / 2
+
+	plain := Demodulate(cap, cfg)
+	cfg.Resync = true
+	resync := Demodulate(cap, cfg)
+
+	if len(plain.Bits) != len(resync.Bits) {
+		t.Fatalf("resync changed clean decode length: %d vs %d", len(resync.Bits), len(plain.Bits))
+	}
+	for i := range plain.Bits {
+		if plain.Bits[i] != resync.Bits[i] {
+			t.Fatalf("resync changed clean bit %d", i)
+		}
+	}
+	q := resync.Quality
+	if len(q.BatchPeriods) == 0 || len(q.BatchPeriods) != len(q.BatchConfidence) {
+		t.Fatalf("quality report sizes: %d periods, %d confidences",
+			len(q.BatchPeriods), len(q.BatchConfidence))
+	}
+	want := txCfg.BitPeriod().Seconds()
+	for i, p := range q.BatchPeriods {
+		if p < want/2 || p > want*2 {
+			t.Fatalf("batch %d period %.3gs, transmitter bit period %.3gs", i, p, want)
+		}
+		if q.BatchConfidence[i] < 0 || q.BatchConfidence[i] > 1 {
+			t.Fatalf("batch %d confidence %v out of [0,1]", i, q.BatchConfidence[i])
+		}
+	}
+	if resync.Quality.Resyncs != 0 {
+		t.Fatalf("clean capture triggered %d resyncs", resync.Quality.Resyncs)
+	}
+}

@@ -1,0 +1,115 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets for the coding layer. `go test` runs the seed
+// corpus; `go test -fuzz` explores further. The corpus seeds mirror the
+// Fig. 8 channel regimes: the quiet regime (no deletions) and the
+// loaded regime (~1 deletion per 122 on-air bits), plus burst damage at
+// the interleaver's design limit.
+
+func toBits(raw []byte) []byte {
+	bits := make([]byte, len(raw))
+	for i, b := range raw {
+		bits[i] = b & 1
+	}
+	return bits
+}
+
+// FuzzInterleaveRoundTrip: Deinterleave inverts Interleave exactly for
+// every bit string and depth.
+func FuzzInterleaveRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0}, 4)
+	f.Add([]byte{}, 8)
+	f.Add(bytes.Repeat([]byte{1, 0}, 61), 7)
+	f.Fuzz(func(t *testing.T, raw []byte, depth int) {
+		bits := toBits(raw)
+		if depth < 0 {
+			depth = -depth
+		}
+		depth = depth%32 + 1
+		inter := Interleave(bits, depth)
+		if depth > 1 && len(inter)%depth != 0 {
+			t.Fatalf("interleaved length %d not a multiple of depth %d", len(inter), depth)
+		}
+		back := Deinterleave(inter, depth, len(bits))
+		if !bytes.Equal(back, bits) {
+			t.Fatalf("round trip broke: %v -> %v (depth %d)", bits, back, depth)
+		}
+	})
+}
+
+// FuzzHammingInterleaveBurst: the system guarantee behind the
+// Interleave knob — a burst of up to depth consecutive bit FLIPS in the
+// interleaved codeword stream lands in distinct codewords, each within
+// Hamming(7,4)'s single-error budget, so the payload decodes exactly.
+func FuzzHammingInterleaveBurst(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1}, 4, uint16(0), uint8(0))              // quiet: no damage
+	f.Add(bytes.Repeat([]byte{1, 0}, 28), 7, uint16(13), uint8(7)) // full-depth burst
+	f.Add(bytes.Repeat([]byte{0, 1, 1}, 16), 5, uint16(200), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, depth int, burstStart uint16, burstLen uint8) {
+		payload := toBits(raw)
+		if depth < 0 {
+			depth = -depth
+		}
+		depth = depth%16 + 2 // 2..17
+		var h Hamming74
+		coded := Interleave(h.Encode(payload), depth)
+		if len(coded) == 0 {
+			return
+		}
+		// Burst of at most depth consecutive flips.
+		bl := int(burstLen) % (depth + 1)
+		bs := int(burstStart) % len(coded)
+		for i := bs; i < bs+bl && i < len(coded); i++ {
+			coded[i] ^= 1
+		}
+		decoded, corrections := h.Decode(Deinterleave(coded, depth, len(h.Encode(payload))))
+		if corrections < 0 {
+			t.Fatal("negative corrections")
+		}
+		if len(decoded) < len(payload) {
+			t.Fatalf("decoded %d bits for %d-bit payload", len(decoded), len(payload))
+		}
+		if !bytes.Equal(decoded[:len(payload)], payload) {
+			t.Fatalf("burst of %d flips at %d broke the payload (depth %d)", bl, bs, depth)
+		}
+	})
+}
+
+// FuzzHammingUnderDeletions: deletions and insertions break codeword
+// framing entirely — the decoder cannot recover the payload, but it
+// must stay total: no panic, bit-valued output, non-negative
+// corrections, and a decoded length consistent with the input.
+func FuzzHammingUnderDeletions(f *testing.F) {
+	f.Add(bytes.Repeat([]byte{1, 0, 1}, 40), uint16(61), false) // Fig. 8 loaded: one deletion
+	f.Add(bytes.Repeat([]byte{1}, 122), uint16(0), true)        // insertion at the head
+	f.Add([]byte{}, uint16(9), false)
+	f.Fuzz(func(t *testing.T, raw []byte, pos uint16, insert bool) {
+		var h Hamming74
+		stream := h.Encode(toBits(raw))
+		if insert {
+			p := int(pos) % (len(stream) + 1)
+			stream = append(stream[:p], append([]byte{1}, stream[p:]...)...)
+		} else if len(stream) > 0 {
+			p := int(pos) % len(stream)
+			stream = append(stream[:p], stream[p+1:]...)
+		}
+		decoded, corrections := h.Decode(stream)
+		if corrections < 0 {
+			t.Fatal("negative corrections")
+		}
+		if len(decoded) > len(stream) {
+			t.Fatalf("decoded %d bits from %d", len(decoded), len(stream))
+		}
+		for _, b := range decoded {
+			if b > 1 {
+				t.Fatalf("non-bit %d in decoded stream", b)
+			}
+		}
+		_ = BitsToBytes(decoded) // must not panic either
+	})
+}

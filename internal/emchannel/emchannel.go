@@ -124,12 +124,35 @@ func (c Config) PathGain() float64 {
 // sample-buffer pool (dsp.GetIQ) — callers that are done with it can
 // hand it back with dsp.PutIQ. sampleRate is needed to synthesize the
 // interferers.
+//
+// Apply panics on an invalid configuration; it is for callers whose
+// configs are validated by construction (the experiment runners).
+// Callers handling user input should use ApplyE and report the error.
 func Apply(iq []complex128, sampleRate float64, cfg Config, rng *xrand.Source) []complex128 {
-	if err := cfg.Validate(); err != nil {
+	out, err := ApplyE(iq, sampleRate, cfg, rng)
+	if err != nil {
 		panic(err)
 	}
+	return out
+}
+
+// ApplyE is Apply with the configuration errors returned instead of
+// panicking, including the rate-dependent checks (sub-sample interferer
+// gate periods) that Config.Validate alone cannot see.
+func ApplyE(iq []complex128, sampleRate float64, cfg Config, rng *xrand.Source) ([]complex128, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if sampleRate <= 0 {
-		panic("emchannel: sampleRate must be positive")
+		return nil, fmt.Errorf("emchannel: sampleRate must be positive")
+	}
+	for i, in := range cfg.Interferers {
+		// A gate period under one sample cannot be synthesized: the old
+		// truncation turned it into an always-on interferer silently.
+		if in.Kind != CW && in.PeriodS*sampleRate < 1 {
+			return nil, fmt.Errorf("emchannel: interferer %d gate period %vs is under one sample at %v S/s",
+				i, in.PeriodS, sampleRate)
+		}
 	}
 	chApplies.Inc()
 	chSamples.Add(uint64(len(iq)))
@@ -148,7 +171,7 @@ func Apply(iq []complex128, sampleRate float64, cfg Config, rng *xrand.Source) [
 			out[i] += complex(rng.Normal(0, cfg.NoiseSigma), rng.Normal(0, cfg.NoiseSigma))
 		}
 	}
-	return out
+	return out, nil
 }
 
 func addInterferer(iq []complex128, sampleRate float64, in Interferer, rng *xrand.Source) {
@@ -157,7 +180,12 @@ func addInterferer(iq []complex128, sampleRate float64, in Interferer, rng *xran
 	}
 	phase := rng.Uniform(0, 2*math.Pi)
 	step := 2 * math.Pi * in.OffsetHz / sampleRate
-	gateSamples := int(in.PeriodS * sampleRate)
+	// Round, don't truncate: a 0.9-sample period used to truncate to a
+	// zero-length gate, which the gateSamples > 0 check below silently
+	// turned into an always-on interferer. ApplyE rejects sub-sample
+	// periods outright, so rounding here only corrects the half-sample
+	// bias for legitimate periods.
+	gateSamples := int(math.Round(in.PeriodS * sampleRate))
 	onSamples := int(in.Duty * float64(gateSamples))
 	for i := range iq {
 		on := true

@@ -1,0 +1,247 @@
+package faults
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"pmuleak/internal/sdr"
+	"pmuleak/internal/xrand"
+)
+
+// testCapture builds a deterministic capture: a unit-amplitude tone so
+// gain and saturation effects are easy to measure.
+func testCapture(n int, rate float64) *sdr.Capture {
+	iq := make([]complex128, n)
+	for i := range iq {
+		ph := 2 * math.Pi * 970e3 * float64(i) / rate
+		iq[i] = cmplx.Rect(0.5, ph)
+	}
+	return &sdr.Capture{IQ: iq, SampleRate: rate, CenterFreqHz: 970e3}
+}
+
+func TestZeroConfigIsNoOp(t *testing.T) {
+	cap := testCapture(4096, 2.4e6)
+	orig := make([]complex128, len(cap.IQ))
+	copy(orig, cap.IQ)
+
+	inj := MustNew(Config{}, 42)
+	rep := inj.Apply(cap)
+
+	if rep.Drops != 0 || rep.GainSteps != 0 || rep.Saturations != 0 || rep.Truncated {
+		t.Fatalf("zero config injected faults: %+v", rep)
+	}
+	if rep.InSamples != 4096 || rep.OutSamples != 4096 {
+		t.Fatalf("zero config changed length: %+v", rep)
+	}
+	for i := range orig {
+		if cap.IQ[i] != orig[i] {
+			t.Fatalf("zero config modified sample %d: %v != %v", i, cap.IQ[i], orig[i])
+		}
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		DropRatePerS:       200,
+		ClockPPM:           40,
+		DriftPPMPerS:       10,
+		GainStepRatePerS:   100,
+		SaturationRatePerS: 100,
+		TruncateProb:       0.5,
+	}
+	run := func() (*sdr.Capture, Report) {
+		cap := testCapture(1<<15, 2.4e6)
+		rep := MustNew(cfg, 7).Apply(cap)
+		return cap, rep
+	}
+	capA, repA := run()
+	capB, repB := run()
+	if repA != repB {
+		t.Fatalf("reports differ at same seed:\n%+v\n%+v", repA, repB)
+	}
+	if len(capA.IQ) != len(capB.IQ) {
+		t.Fatalf("output lengths differ: %d vs %d", len(capA.IQ), len(capB.IQ))
+	}
+	for i := range capA.IQ {
+		if capA.IQ[i] != capB.IQ[i] {
+			t.Fatalf("sample %d differs at same seed", i)
+		}
+	}
+
+	// A different seed must realize a different schedule.
+	capC := testCapture(1<<15, 2.4e6)
+	repC := MustNew(cfg, 8).Apply(capC)
+	if repA == repC {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestStreamIndependence: enabling one fault class must not perturb the
+// schedule of another — each class forks its own stream.
+func TestStreamIndependence(t *testing.T) {
+	dropsOnly := Config{DropRatePerS: 300}
+	combined := Config{DropRatePerS: 300, GainStepRatePerS: 150, SaturationRatePerS: 80}
+
+	capA := testCapture(1<<15, 2.4e6)
+	repA := MustNew(dropsOnly, 11).Apply(capA)
+	capB := testCapture(1<<15, 2.4e6)
+	repB := MustNew(combined, 11).Apply(capB)
+
+	if repA.Drops != repB.Drops || repA.DroppedSamples != repB.DroppedSamples {
+		t.Fatalf("drop schedule perturbed by other classes: %+v vs %+v", repA, repB)
+	}
+}
+
+func TestDropsDeleteBlocks(t *testing.T) {
+	cap := testCapture(1<<15, 2.4e6)
+	rep := MustNew(Config{DropRatePerS: 500, DropMinLen: 64, DropMaxLen: 128}, 3).Apply(cap)
+	if rep.Drops == 0 {
+		t.Fatal("no drops at 500/s over 13.6ms capture is possible but the pinned seed should yield some")
+	}
+	if rep.DroppedSamples < rep.Drops*64 || rep.DroppedSamples > rep.Drops*128 {
+		t.Fatalf("dropped samples %d outside bounds for %d drops of [64,128]", rep.DroppedSamples, rep.Drops)
+	}
+	if len(cap.IQ) != rep.InSamples-rep.DroppedSamples {
+		t.Fatalf("length %d != %d - %d", len(cap.IQ), rep.InSamples, rep.DroppedSamples)
+	}
+	if rep.OutSamples != len(cap.IQ) {
+		t.Fatalf("report OutSamples %d != len %d", rep.OutSamples, len(cap.IQ))
+	}
+}
+
+func TestClockPPMStretchesTone(t *testing.T) {
+	// +100 ppm clock error: the resampler reads ~100e-6 fewer input
+	// samples' worth of signal per second, so the output runs out of
+	// input slightly early and the tone appears shifted. Check the
+	// output length shrank by roughly n*ppm*1e-6.
+	n := 1 << 16
+	cap := testCapture(n, 2.4e6)
+	rep := MustNew(Config{ClockPPM: 100}, 5).Apply(cap)
+	lost := n - len(cap.IQ)
+	want := int(float64(n) * 100e-6)
+	if lost < want-2 || lost > want+2 {
+		t.Fatalf("clock resample lost %d samples, want ~%d", lost, want)
+	}
+	if rep.MaxDriftPPM != 100 {
+		t.Fatalf("MaxDriftPPM = %v, want 100", rep.MaxDriftPPM)
+	}
+}
+
+func TestDriftRampReported(t *testing.T) {
+	n := 1 << 16
+	cap := testCapture(n, 2.4e6)
+	dur := float64(n) / 2.4e6
+	rep := MustNew(Config{ClockPPM: -20, DriftPPMPerS: 400}, 5).Apply(cap)
+	wantEnd := -20 + dur*400
+	if math.Abs(rep.MaxDriftPPM-math.Max(20, math.Abs(wantEnd))) > 1e-9 {
+		t.Fatalf("MaxDriftPPM = %v, want %v", rep.MaxDriftPPM, math.Max(20, math.Abs(wantEnd)))
+	}
+}
+
+func TestGainStepsScaleTail(t *testing.T) {
+	cap := testCapture(1<<15, 2.4e6)
+	rep := MustNew(Config{GainStepRatePerS: 200, GainStepMaxDB: 6}, 9).Apply(cap)
+	if rep.GainSteps == 0 {
+		t.Fatal("no gain steps realized at pinned seed")
+	}
+	// After the last step the amplitude must equal 0.5 * 10^(net/20).
+	want := 0.5 * math.Pow(10, rep.NetGainDB/20)
+	got := cmplx.Abs(cap.IQ[len(cap.IQ)-1])
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("tail amplitude %v, want %v (net %.2f dB over %d steps)", got, want, rep.NetGainDB, rep.GainSteps)
+	}
+}
+
+func TestSaturationRails(t *testing.T) {
+	cap := testCapture(1<<15, 2.4e6)
+	rep := MustNew(Config{SaturationRatePerS: 150, SaturationLen: 32}, 13).Apply(cap)
+	if rep.Saturations == 0 || rep.SaturatedSamples == 0 {
+		t.Fatal("no saturation realized at pinned seed")
+	}
+	if cap.Clipped < rep.SaturatedSamples {
+		t.Fatalf("Clipped %d < SaturatedSamples %d", cap.Clipped, rep.SaturatedSamples)
+	}
+	railed := 0
+	for _, s := range cap.IQ {
+		if math.Abs(real(s)) == 1 && math.Abs(imag(s)) == 1 {
+			railed++
+		}
+	}
+	if railed != rep.SaturatedSamples {
+		t.Fatalf("found %d railed samples, report says %d", railed, rep.SaturatedSamples)
+	}
+}
+
+func TestTruncationCutsTail(t *testing.T) {
+	cap := testCapture(1<<15, 2.4e6)
+	rep := MustNew(Config{TruncateProb: 1, TruncateMinFrac: 0.5}, 17).Apply(cap)
+	if !rep.Truncated {
+		t.Fatal("TruncateProb=1 did not truncate")
+	}
+	if len(cap.IQ) < 1<<14 || len(cap.IQ) >= 1<<15 {
+		t.Fatalf("kept %d samples, want in [%d, %d)", len(cap.IQ), 1<<14, 1<<15)
+	}
+	if rep.TruncatedSamples != 1<<15-len(cap.IQ) {
+		t.Fatalf("TruncatedSamples %d != %d", rep.TruncatedSamples, 1<<15-len(cap.IQ))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{DropRatePerS: -1},
+		{DropMinLen: 10, DropMaxLen: 5},
+		{DropMinLen: -1},
+		{ClockPPM: 2000},
+		{DriftPPMPerS: -2000},
+		{GainStepRatePerS: -1},
+		{GainStepRatePerS: 1, GainStepMaxDB: 50},
+		{SaturationRatePerS: -1},
+		{SaturationLen: -1},
+		{TruncateProb: 1.5},
+		{TruncateProb: 0.5, TruncateMinFrac: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	good := Config{DropRatePerS: 100, ClockPPM: -20, DriftPPMPerS: 5,
+		GainStepRatePerS: 10, GainStepMaxDB: 6, SaturationRatePerS: 5, TruncateProb: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected good config: %v", err)
+	}
+	if _, err := New(Config{DropRatePerS: -1}, 1); err == nil {
+		t.Error("New accepted invalid config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(Config{TruncateProb: 2}, 1)
+}
+
+func TestEmptyCapture(t *testing.T) {
+	cap := &sdr.Capture{IQ: nil, SampleRate: 2.4e6}
+	rep := MustNew(Config{DropRatePerS: 1000, ClockPPM: 50, TruncateProb: 1}, 1).Apply(cap)
+	if rep.OutSamples != 0 || rep.Drops != 0 {
+		t.Fatalf("empty capture produced events: %+v", rep)
+	}
+}
+
+func TestPoissonEventsOrdered(t *testing.T) {
+	rng := xrand.New(99)
+	events := poissonEvents(rng, 1000, 2.4e6, 1<<16)
+	for i := 1; i < len(events); i++ {
+		if events[i] < events[i-1] {
+			t.Fatalf("events out of order at %d: %d < %d", i, events[i], events[i-1])
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no events at 1000/s over 27ms")
+	}
+}

@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+
+	"pmuleak/internal/sdr"
+)
+
+// TestConcurrentInjectorsDeterministic exercises the fleet pattern the
+// sweep uses: one injector per cell, many cells in flight. Each
+// goroutine owns its injector and capture; schedules must come out
+// identical to a serial run regardless of interleaving. Run under
+// -race this also proves the telemetry counters are the only shared
+// state.
+func TestConcurrentInjectorsDeterministic(t *testing.T) {
+	cfg := Config{
+		DropRatePerS:       300,
+		ClockPPM:           30,
+		GainStepRatePerS:   120,
+		SaturationRatePerS: 60,
+		TruncateProb:       0.3,
+	}
+	const cells = 16
+
+	serial := make([]Report, cells)
+	for i := range serial {
+		cap := testCapture(1<<14, 2.4e6)
+		serial[i] = MustNew(cfg, int64(i)).Apply(cap)
+	}
+
+	parallel := make([]Report, cells)
+	var wg sync.WaitGroup
+	for i := 0; i < cells; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cap := testCapture(1<<14, 2.4e6)
+			parallel[i] = MustNew(cfg, int64(i)).Apply(cap)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("cell %d schedule differs between serial and parallel runs:\n%+v\n%+v",
+				i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestConcurrentApplySharedCounters hammers the telemetry counters from
+// many goroutines (the only cross-injector shared state) under -race.
+func TestConcurrentApplySharedCounters(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				cap := &sdr.Capture{IQ: make([]complex128, 4096), SampleRate: 2.4e6}
+				MustNew(Config{DropRatePerS: 500, SaturationRatePerS: 200}, int64(i*100+j)).Apply(cap)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

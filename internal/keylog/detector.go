@@ -33,6 +33,15 @@ type DetectorConfig struct {
 	// this duration, following the VRM clock's slow thermal drift over
 	// multi-minute captures. Zero uses a single static band.
 	TrackBlock sim.Time
+	// GapAware re-normalizes the band trace per TrackBlock before
+	// thresholding. A mid-capture AGC gain step (or the level
+	// discontinuity left where a USB overrun dropped samples) shifts
+	// whole stretches of the trace up or down, pulling the single
+	// global bimodal threshold out of the valley; block-local gain
+	// normalization makes the threshold see the same idle/burst
+	// contrast in every block. Off — the default — keeps the global
+	// single-pass behavior.
+	GapAware bool
 	// Parallelism is the DSP engine's worker count: 0 picks the process
 	// default (normally all CPUs), 1 forces the exact legacy serial
 	// path, n > 1 uses n workers. The engine's parallel STFT is
@@ -186,6 +195,9 @@ func Detect(cap *sdr.Capture, cfg DetectorConfig) *Detection {
 			det.Band[f] = sum
 		}
 	}
+	if cfg.GapAware {
+		normalizeBlocks(det.Band, blockFrames)
+	}
 	dsp.Normalize(det.Band)
 
 	// Threshold: the trace is near-zero at idle and near-one during a
@@ -215,4 +227,27 @@ func Detect(cap *sdr.Capture, cfg DetectorConfig) *Detection {
 		})
 	}
 	return det
+}
+
+// normalizeBlocks rescales each blockFrames-wide stretch of the band
+// trace by its own robust peak (98th percentile), equalizing the
+// idle/burst contrast across AGC gain steps. The high quantile — not
+// the max — keeps one saturated frame from crushing its whole block.
+func normalizeBlocks(band []float64, blockFrames int) {
+	if blockFrames < 1 {
+		blockFrames = 1
+	}
+	for lo := 0; lo < len(band); lo += blockFrames {
+		hi := lo + blockFrames
+		if hi > len(band) {
+			hi = len(band)
+		}
+		scale := dsp.Quantile(band[lo:hi], 0.98)
+		if scale <= 0 {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			band[i] /= scale
+		}
+	}
 }

@@ -116,6 +116,10 @@ type Capture struct {
 	CenterFreqHz float64
 	// Clipped is the number of samples that hit the ADC rails.
 	Clipped int
+
+	// recycled latches once Recycle has returned the buffer to the
+	// pool, making further calls no-ops.
+	recycled atomic.Bool
 }
 
 // Duration returns the capture length in seconds.
@@ -126,8 +130,14 @@ func (c *Capture) Duration() float64 {
 // Recycle returns the capture's sample buffer to the process pool and
 // clears the reference. Call it only once the capture has been fully
 // consumed (demodulated / detected / rendered) — any slice still
-// aliasing c.IQ becomes invalid.
+// aliasing c.IQ becomes invalid. Recycle is idempotent: the second and
+// later calls are no-ops (a double Recycle used to double-count the
+// telemetry and hand the pool a nil buffer), and concurrent calls
+// recycle the buffer exactly once.
 func (c *Capture) Recycle() {
+	if !c.recycled.CompareAndSwap(false, true) {
+		return
+	}
 	sdrRecycles.Inc()
 	dsp.PutIQ(c.IQ)
 	c.IQ = nil
@@ -135,9 +145,23 @@ func (c *Capture) Recycle() {
 
 // Acquire runs the input field samples through the receiver chain and
 // returns the capture a host application would see.
+//
+// Acquire panics on an invalid configuration; it is for callers whose
+// configs are validated by construction (the experiment runners).
+// Callers handling user input should use AcquireE and report the error.
 func Acquire(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Source) *Capture {
-	if err := cfg.Validate(); err != nil {
+	cap, err := AcquireE(iq, centerFreqHz, cfg, rng)
+	if err != nil {
 		panic(err)
+	}
+	return cap
+}
+
+// AcquireE is Acquire with the configuration errors returned instead of
+// panicking.
+func AcquireE(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Source) (*Capture, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	gain := math.Pow(10, cfg.Antenna.GainDB/20)
 	// Pooled buffer: the loop below writes every element before any
@@ -198,7 +222,7 @@ func Acquire(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Sourc
 	sdrCaptures.Inc()
 	sdrSamples.Add(uint64(len(out)))
 	sdrClipped.Add(uint64(cap.Clipped))
-	return cap
+	return cap, nil
 }
 
 // quantize maps v in [-1,1) onto the ADC grid, clipping outside.
