@@ -1,0 +1,160 @@
+// Command benchguard gates the DSP kernel benchmarks in CI. It parses
+// `go test -bench` output on stdin (or a file), pairs each benchmark's
+// path=fused result with its path=reference result, and enforces the
+// fused/reference speedup ratio against a checked-in baseline:
+//
+//	speedup >= max(min_speedup, baseline_speedup * (1 - tolerance))
+//
+// Ratios, not nanoseconds: both paths run in the same process on the
+// same machine, so their quotient survives runner-speed differences
+// that would make any absolute ns/op threshold flake. min_speedup is
+// the hard product floor (the ">= 2x on STFT and Welch" acceptance
+// line); baseline_speedup*(1-tolerance) is the benchstat-style
+// regression gate that catches a kernel slowdown long before it eats
+// the whole 2x margin.
+//
+// Usage:
+//
+//	go test -bench 'STFT|Welch|FFT' -benchtime 2x ./internal/dsp/ | \
+//	    benchguard -baseline internal/dsp/testdata/bench_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in expectation set.
+type Baseline struct {
+	// Tolerance is the allowed relative drop below BaselineSpeedup
+	// (0.10 = fail on a >10% regression).
+	Tolerance float64 `json:"tolerance"`
+	Pairs     []Pair  `json:"pairs"`
+}
+
+// Pair is one benchmark family with a reference and a fused variant.
+type Pair struct {
+	// Name is the benchmark function name, e.g. "BenchmarkSTFT".
+	Name string `json:"name"`
+	// MinSpeedup is the hard floor on fused/reference (acceptance
+	// criteria), independent of the recorded baseline.
+	MinSpeedup float64 `json:"min_speedup"`
+	// BaselineSpeedup is the recorded fused/reference ratio; the gate
+	// is BaselineSpeedup*(1-Tolerance).
+	BaselineSpeedup float64 `json:"baseline_speedup"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "baseline JSON (required)")
+	input := fs.String("in", "", "bench output file; default stdin")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baselinePath == "" {
+		fmt.Fprintln(stderr, "benchguard: -baseline is required")
+		return 2
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: %v\n", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchguard: parsing %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	in := stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchguard: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	text, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: reading bench output: %v\n", err)
+		return 2
+	}
+	results, err := parseBench(string(text))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: %v\n", err)
+		return 2
+	}
+	return check(base, results, stdout, stderr)
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSTFT/path=fused-8   386   5910965 ns/op   4198560 B/op ...
+//
+// The trailing -N GOMAXPROCS suffix is optional (absent when
+// GOMAXPROCS is 1).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name -> ns/op. Sub-benchmark names keep their
+// /path=... suffix; the -N CPU suffix is stripped.
+func parseBench(out string) (map[string]float64, error) {
+	results := map[string]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("bad ns/op on line %q", line)
+		}
+		results[m[1]] = ns
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return results, nil
+}
+
+func check(base Baseline, results map[string]float64, stdout, stderr io.Writer) int {
+	failures := 0
+	for _, p := range base.Pairs {
+		ref, okRef := results[p.Name+"/path=reference"]
+		fused, okFused := results[p.Name+"/path=fused"]
+		if !okRef || !okFused {
+			fmt.Fprintf(stderr, "benchguard: %s: missing path=reference or path=fused result\n", p.Name)
+			failures++
+			continue
+		}
+		speedup := ref / fused
+		gate := p.BaselineSpeedup * (1 - base.Tolerance)
+		if p.MinSpeedup > gate {
+			gate = p.MinSpeedup
+		}
+		status := "ok"
+		if speedup < gate {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(stdout,
+			"%-24s reference %12.0f ns/op  fused %12.0f ns/op  speedup %5.2fx  gate %.2fx  %s\n",
+			p.Name, ref, fused, speedup, gate, status)
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "benchguard: %d benchmark gate(s) failed\n", failures)
+		return 1
+	}
+	return 0
+}

@@ -56,10 +56,15 @@ type benchConfig struct {
 	Parallel   int
 	Jobs       int
 	TraceCache bool
-	Stats      bool
-	Metrics    string // write a telemetry JSON snapshot here at exit
-	PprofCPU   string // write a runtime/pprof CPU profile here
-	PprofHeap  string // write a runtime/pprof heap profile here
+	// NoFused disables the fused/real-input DSP kernels, forcing the
+	// reference serial transforms. Named negatively so the zero value —
+	// which every test that builds benchConfig directly gets — keeps the
+	// production default (fused on).
+	NoFused   bool
+	Stats     bool
+	Metrics   string // write a telemetry JSON snapshot here at exit
+	PprofCPU  string // write a runtime/pprof CPU profile here
+	PprofHeap string // write a runtime/pprof heap profile here
 }
 
 // run parses args and executes the harness. Split from main so tests
@@ -75,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("parallel", 0, "DSP worker count: 0 = all CPUs, 1 = serial, n = n workers (results are bit-identical either way)")
 		jobs       = fs.Int("jobs", 0, "experiment-cell worker count: 0 = all CPUs, 1 = exact legacy serial (results are bit-identical either way)")
 		tracecache = fs.Bool("tracecache", true, "memoize transmitter traces across receiver-side sweeps (results are bit-identical either way)")
+		nofused    = fs.Bool("nofused", false, "disable the fused/real-input DSP kernels and use the reference transforms (results are bit-identical either way)")
 		stats      = fs.Bool("stats", true, "report per-experiment wall time and the telemetry summary on stderr")
 		metrics    = fs.String("metrics", "", "write a telemetry JSON snapshot to this file at exit")
 		pprofCPU   = fs.String("pprof-cpu", "", "write a CPU profile (runtime/pprof) to this file")
@@ -91,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallel:   *parallel,
 		Jobs:       *jobs,
 		TraceCache: *tracecache,
+		NoFused:    *nofused,
 		Stats:      *stats,
 		Metrics:    *metrics,
 		PprofCPU:   *pprofCPU,
@@ -108,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // -jobs, -tracecache, -stats, -metrics, and -pprof-* settings.
 func execute(cfg benchConfig, stdout, stderr io.Writer) int {
 	dsp.SetDefaultParallelism(cfg.Parallel)
+	dsp.SetFusedKernels(!cfg.NoFused)
 	sweep.SetDefaultJobs(cfg.Jobs)
 	core.SetTraceCacheEnabled(cfg.TraceCache)
 

@@ -20,3 +20,7 @@ var goldenCombos = []goldenCombo{
 // two settings so the deterministic counter series can be compared
 // across serial and fanned-out runs.
 var telemetryGoldenJobs = []int{1, 4}
+
+// fusedGoldenModes is the -nofused grid for the fused-kernel golden
+// test: both kernel sets are rendered and compared byte-for-byte.
+var fusedGoldenModes = []bool{false, true}

@@ -21,3 +21,11 @@ var goldenCombos = []goldenCombo{
 // enough to race-check the instrumented fan-out path; the cross-jobs
 // counter-equality assertion runs in the !race tier (it needs two).
 var telemetryGoldenJobs = []int{4}
+
+// fusedGoldenModes under race: only the -nofused render. The fused
+// kernels already run under race in every other golden/telemetry
+// render (they are the default), so the reference-kernel render is the
+// only new coverage here; rendering both would blow the per-package
+// test timeout on a small runner. The byte-equivalence of both modes
+// is proven at full Quick scale in the !race tier.
+var fusedGoldenModes = []bool{true}

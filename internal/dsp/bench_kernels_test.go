@@ -1,0 +1,108 @@
+package dsp
+
+import "testing"
+
+// Kernel benchmarks, paired so the fused/real-input speedup is measured
+// inside one process on one machine: for each workload, path=reference
+// is the pre-fusion serial algorithm (kernel switch off; for real
+// workloads that includes the pack-to-complex copy the old entry
+// points forced on every caller with a real trace) and path=fused is
+// the production path. cmd/benchguard enforces the fused/reference
+// ratio from this output — ratios survive machine-speed differences,
+// absolute nanoseconds do not.
+
+const (
+	benchTraceLen = 1 << 17
+	benchFFTSize  = 1024
+	benchHop      = 256
+)
+
+func benchPaths(b *testing.B, run func(b *testing.B)) {
+	prev := FusedKernels()
+	b.Cleanup(func() { SetFusedKernels(prev) })
+	for _, path := range []struct {
+		name  string
+		fused bool
+	}{{"path=reference", false}, {"path=fused", true}} {
+		b.Run(path.name, func(b *testing.B) {
+			SetFusedKernels(path.fused)
+			run(b)
+		})
+	}
+}
+
+func BenchmarkSTFT(b *testing.B) {
+	x := randReal(benchTraceLen, 1)
+	window := Hann(benchFFTSize)
+	e := Engine{Parallelism: 1}
+	benchPaths(b, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.STFTReal(x, benchFFTSize, benchHop, window, 2.4e6)
+		}
+	})
+}
+
+func BenchmarkWelch(b *testing.B) {
+	x := randReal(benchTraceLen, 2)
+	e := Engine{Parallelism: 1}
+	benchPaths(b, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.WelchPSDReal(x, benchFFTSize)
+		}
+	})
+}
+
+// BenchmarkSTFTComplex measures the fused win on the pipeline's real
+// workload shape — complex IQ, where only the gather and stage fusion
+// apply, not the real-input halving.
+func BenchmarkSTFTComplex(b *testing.B) {
+	x := randComplex(benchTraceLen, 3)
+	window := Hann(benchFFTSize)
+	e := Engine{Parallelism: 1}
+	benchPaths(b, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.STFT(x, benchFFTSize, benchHop, window, 2.4e6)
+		}
+	})
+}
+
+func BenchmarkFFT(b *testing.B) {
+	// One op is a batch of transforms: a single 4096-point FFT is tens
+	// of microseconds, far too short for the -benchtime 2x CI runs to
+	// measure a stable fused/reference ratio.
+	const n = 4096
+	const batch = 64
+	src := randComplex(n, 4)
+	buf := make([]complex128, n)
+	benchPaths(b, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				copy(buf, src)
+				FFT(buf)
+			}
+		}
+	})
+	real := randReal(n, 5)
+	dst := make([]complex128, n)
+	b.Run("path=rfft", func(b *testing.B) {
+		prev := FusedKernels()
+		defer SetFusedKernels(prev)
+		SetFusedKernels(true)
+		plan := PlanFFT(n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				plan.RealTransform(dst, real)
+			}
+		}
+	})
+}
