@@ -1,7 +1,9 @@
-// Command benchguard gates the DSP kernel benchmarks in CI. It parses
+// Command benchguard gates paired speedup benchmarks in CI. It parses
 // `go test -bench` output on stdin (or a file), pairs each benchmark's
-// path=fused result with its path=reference result, and enforces the
-// fused/reference speedup ratio against a checked-in baseline:
+// new-path result with its reference result (sub-benchmark suffixes,
+// "path=reference"/"path=fused" by default, per-pair overridable — the
+// campaign engine gates "path=slices" vs "path=streamed"), and enforces
+// the speedup ratio against a checked-in baseline:
 //
 //	speedup >= max(min_speedup, baseline_speedup * (1 - tolerance))
 //
@@ -38,16 +40,37 @@ type Baseline struct {
 	Pairs     []Pair  `json:"pairs"`
 }
 
-// Pair is one benchmark family with a reference and a fused variant.
+// Pair is one benchmark family with a slow (reference) and a fast
+// (new-path) variant, distinguished by sub-benchmark suffix.
 type Pair struct {
 	// Name is the benchmark function name, e.g. "BenchmarkSTFT".
 	Name string `json:"name"`
-	// MinSpeedup is the hard floor on fused/reference (acceptance
-	// criteria), independent of the recorded baseline.
+	// RefSuffix and NewSuffix name the two sub-benchmarks whose ratio
+	// is gated. They default to the DSP kernels' original
+	// "path=reference" and "path=fused", so existing baselines need no
+	// edit; other packages (the campaign engine gates
+	// "path=slices" vs "path=streamed") set them explicitly.
+	RefSuffix string `json:"ref_suffix,omitempty"`
+	NewSuffix string `json:"new_suffix,omitempty"`
+	// MinSpeedup is the hard floor on ref/new (acceptance criteria),
+	// independent of the recorded baseline.
 	MinSpeedup float64 `json:"min_speedup"`
-	// BaselineSpeedup is the recorded fused/reference ratio; the gate
-	// is BaselineSpeedup*(1-Tolerance).
+	// BaselineSpeedup is the recorded ref/new ratio; the gate is
+	// BaselineSpeedup*(1-Tolerance).
 	BaselineSpeedup float64 `json:"baseline_speedup"`
+}
+
+// suffixes resolves the pair's sub-benchmark names with the historical
+// defaults.
+func (p Pair) suffixes() (ref, new string) {
+	ref, new = p.RefSuffix, p.NewSuffix
+	if ref == "" {
+		ref = "path=reference"
+	}
+	if new == "" {
+		new = "path=fused"
+	}
+	return ref, new
 }
 
 func main() {
@@ -131,14 +154,16 @@ func parseBench(out string) (map[string]float64, error) {
 func check(base Baseline, results map[string]float64, stdout, stderr io.Writer) int {
 	failures := 0
 	for _, p := range base.Pairs {
-		ref, okRef := results[p.Name+"/path=reference"]
-		fused, okFused := results[p.Name+"/path=fused"]
-		if !okRef || !okFused {
-			fmt.Fprintf(stderr, "benchguard: %s: missing path=reference or path=fused result\n", p.Name)
+		refSuffix, newSuffix := p.suffixes()
+		ref, okRef := results[p.Name+"/"+refSuffix]
+		fast, okNew := results[p.Name+"/"+newSuffix]
+		if !okRef || !okNew {
+			fmt.Fprintf(stderr, "benchguard: %s: missing %s or %s result\n",
+				p.Name, refSuffix, newSuffix)
 			failures++
 			continue
 		}
-		speedup := ref / fused
+		speedup := ref / fast
 		gate := p.BaselineSpeedup * (1 - base.Tolerance)
 		if p.MinSpeedup > gate {
 			gate = p.MinSpeedup
@@ -149,8 +174,8 @@ func check(base Baseline, results map[string]float64, stdout, stderr io.Writer) 
 			failures++
 		}
 		fmt.Fprintf(stdout,
-			"%-24s reference %12.0f ns/op  fused %12.0f ns/op  speedup %5.2fx  gate %.2fx  %s\n",
-			p.Name, ref, fused, speedup, gate, status)
+			"%-24s %s %12.0f ns/op  %s %12.0f ns/op  speedup %5.2fx  gate %.2fx  %s\n",
+			p.Name, refSuffix, ref, newSuffix, fast, speedup, gate, status)
 	}
 	if failures > 0 {
 		fmt.Fprintf(stderr, "benchguard: %d benchmark gate(s) failed\n", failures)

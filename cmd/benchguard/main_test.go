@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -113,6 +114,59 @@ func TestGateMissingPair(t *testing.T) {
 	}`, sampleBench)
 	if code != 1 || !strings.Contains(stderr, "missing") {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+}
+
+// TestGateCustomSuffixes: a pair may name its own sub-benchmark
+// variants; the campaign baseline gates path=slices vs path=streamed.
+func TestGateCustomSuffixes(t *testing.T) {
+	bench := `goos: linux
+BenchmarkCampaignCells/path=slices-8     	       2	 200000000 ns/op
+BenchmarkCampaignCells/path=streamed-8   	      22	  20000000 ns/op
+PASS
+`
+	code, stdout, stderr := runGuard(t, `{
+		"tolerance": 0.10,
+		"pairs": [{"name": "BenchmarkCampaignCells",
+			"ref_suffix": "path=slices", "new_suffix": "path=streamed",
+			"min_speedup": 3.0, "baseline_speedup": 8.0}]
+	}`, bench)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "path=slices") || !strings.Contains(stdout, "10.00x") {
+		t.Fatalf("report missing custom-suffix columns:\n%s", stdout)
+	}
+	// Wrong suffixes against the same input must fail as missing, not
+	// silently pass.
+	code, _, stderr = runGuard(t, `{
+		"tolerance": 0.10,
+		"pairs": [{"name": "BenchmarkCampaignCells", "min_speedup": 1.0, "baseline_speedup": 1.0}]
+	}`, bench)
+	if code != 1 || !strings.Contains(stderr, "missing") {
+		t.Fatalf("default suffixes matched the campaign bench: exit %d, stderr: %s", code, stderr)
+	}
+}
+
+// TestRepoCampaignBaselineParses guards the checked-in campaign
+// baseline: it must parse and gate the sample above successfully.
+func TestRepoCampaignBaselineParses(t *testing.T) {
+	raw, err := os.ReadFile("../../internal/campaign/testdata/bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("campaign baseline does not parse: %v", err)
+	}
+	if len(base.Pairs) == 0 {
+		t.Fatal("campaign baseline has no pairs")
+	}
+	for _, p := range base.Pairs {
+		ref, new := p.suffixes()
+		if ref == "path=reference" || new == "path=fused" {
+			t.Fatalf("campaign pair %s fell back to the DSP default suffixes", p.Name)
+		}
 	}
 }
 

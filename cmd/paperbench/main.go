@@ -56,6 +56,13 @@ type benchConfig struct {
 	Parallel   int
 	Jobs       int
 	TraceCache bool
+	// TraceCacheCap resizes the transmitter-trace LRU (0 = default
+	// capacity); Cells and Shards drive the fleet campaign's population
+	// and execution batching. None of the three changes a report byte
+	// (Cells changes which report is produced, not its stability).
+	TraceCacheCap int
+	Cells         int64
+	Shards        int
 	// NoFused disables the fused/real-input DSP kernels, forcing the
 	// reference serial transforms. Named negatively so the zero value —
 	// which every test that builds benchConfig directly gets — keeps the
@@ -80,6 +87,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("parallel", 0, "DSP worker count: 0 = all CPUs, 1 = serial, n = n workers (results are bit-identical either way)")
 		jobs       = fs.Int("jobs", 0, "experiment-cell worker count: 0 = all CPUs, 1 = exact legacy serial (results are bit-identical either way)")
 		tracecache = fs.Bool("tracecache", true, "memoize transmitter traces across receiver-side sweeps (results are bit-identical either way)")
+		tccap      = fs.Int("tracecache-cap", 0, "transmitter-trace cache capacity in entries: 0 = default; size to the anchor working set for fleet-scale runs (results are bit-identical at every capacity)")
+		cells      = fs.Int64("cells", 0, "fleet campaign population size: 0 = the scale's default")
+		shards     = fs.Int("shards", 0, "fleet campaign execution shards: 0 = default (reports are byte-identical at every value)")
 		nofused    = fs.Bool("nofused", false, "disable the fused/real-input DSP kernels and use the reference transforms (results are bit-identical either way)")
 		stats      = fs.Bool("stats", true, "report per-experiment wall time and the telemetry summary on stderr")
 		metrics    = fs.String("metrics", "", "write a telemetry JSON snapshot to this file at exit")
@@ -95,8 +105,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:       *seed,
 		Show:       *show,
 		Parallel:   *parallel,
-		Jobs:       *jobs,
-		TraceCache: *tracecache,
+		Jobs:          *jobs,
+		TraceCache:    *tracecache,
+		TraceCacheCap: *tccap,
+		Cells:         *cells,
+		Shards:        *shards,
 		NoFused:    *nofused,
 		Stats:      *stats,
 		Metrics:    *metrics,
@@ -118,6 +131,7 @@ func execute(cfg benchConfig, stdout, stderr io.Writer) int {
 	dsp.SetFusedKernels(!cfg.NoFused)
 	sweep.SetDefaultJobs(cfg.Jobs)
 	core.SetTraceCacheEnabled(cfg.TraceCache)
+	core.SetTraceCacheCapacity(cfg.TraceCacheCap)
 
 	specs := registry()
 	if cfg.Only != "" {
@@ -152,7 +166,8 @@ func execute(cfg benchConfig, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	rc := runContext{Seed: cfg.Seed, Scale: cfg.Scale, Show: cfg.Show}
+	rc := runContext{Seed: cfg.Seed, Scale: cfg.Scale, Show: cfg.Show,
+		Cells: cfg.Cells, Shards: cfg.Shards}
 	start := time.Now()
 	for _, s := range specs {
 		if cfg.Only != "" && !strings.EqualFold(cfg.Only, s.Name) {

@@ -106,7 +106,7 @@ func TestRegistryNamesUnique(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	if len(seen) != 20 {
-		t.Errorf("registry has %d experiments, want 20", len(seen))
+	if len(seen) != 21 {
+		t.Errorf("registry has %d experiments, want 21", len(seen))
 	}
 }

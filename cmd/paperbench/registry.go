@@ -13,6 +13,13 @@ type runContext struct {
 	Seed  int64
 	Scale experiments.Scale
 	Show  bool // render ASCII spectrograms for the figures
+	// Cells overrides the scale's fleet-campaign population when > 0;
+	// Shards is the campaign's execution batching (0 = default). Both
+	// knobs never change a report byte: Cells is part of the report's
+	// identity (a different population IS a different report), Shards is
+	// execution-only by the campaign contract.
+	Cells  int64
+	Shards int
 }
 
 // experimentSpec is one entry of the experiment registry: the -only
@@ -253,6 +260,41 @@ func registry() []experimentSpec {
 				fmt.Fprintf(w, "measured: keystroke F1 at %2.0fdB gain steps (%2d events): plain %.2f, gap-aware %.2f\n",
 					kp.GainStepDB, kp.GainSteps, kp.PlainF1, kp.GapAwareF1)
 			}
+		}},
+
+		{"fleet", func(w io.Writer, rc runContext) {
+			fmt.Fprint(w, experiments.Banner("Fleet campaign — population-scale attack surface (extension)"))
+			res := experiments.Fleet(rc.Seed, rc.Scale, rc.Cells, rc.Shards)
+			fmt.Fprintf(w, "claim   : anchored surrogate scales the six-laptop bench to a heterogeneous fleet\n")
+			fmt.Fprintf(w, "population: %d cells over %d reduction blocks (Zipf model/load/typist/severity mixes)\n",
+				res.Plan.Cells, res.Plan.Blocks)
+			for _, a := range res.Anchors {
+				fmt.Fprintf(w, "anchor  : %-22s BER=%.1e TR=%4.0f -> SNR %5.1f\n", a.Model, a.BER, a.TR, a.SNR)
+			}
+			fmt.Fprintf(w, "anchor  : keystroke F1 %.2f near-field; fault severity SNR divisors", res.KeyF1)
+			for _, s := range res.Severities {
+				fmt.Fprintf(w, " %s=%.2f", s.Name, s.SNRFactor)
+			}
+			fmt.Fprintf(w, "\n")
+			fmt.Fprintf(w, "measured: population BER mean=%.2e std=%.2e  q50=%.1e q90=%.1e q99=%.1e q99.9=%.1e\n",
+				res.Pop.Mean, res.Pop.Std(),
+				res.BER.Quantile(0.5), res.BER.Quantile(0.9),
+				res.BER.Quantile(0.99), res.BER.Quantile(0.999))
+			fmt.Fprintf(w, "measured: keystroke F1 q10=%.2f q50=%.2f q90=%.2f\n",
+				res.F1.Quantile(0.1), res.F1.Quantile(0.5), res.F1.Quantile(0.9))
+			for _, g := range res.PerModel {
+				fmt.Fprintf(w, "measured: model %-22s share %4.1f%%  mean BER %.2e\n",
+					g.Name, 100*float64(g.BER.Count)/float64(res.Plan.Cells), g.BER.Mean)
+			}
+			for _, g := range res.PerSev {
+				fmt.Fprintf(w, "measured: severity %-9s share %4.1f%%  mean BER %.2e  mean F1 %.2f\n",
+					g.Name, 100*float64(g.BER.Count)/float64(res.Plan.Cells), g.BER.Mean, g.F1.Mean)
+			}
+			for _, it := range res.Worst {
+				fmt.Fprintf(w, "measured: worst cell %8d  BER %.3e\n", it.Cell, it.Value)
+			}
+			fmt.Fprintf(w, "reducers: %d bytes of streamed state across %d blocks (flat in cell count)\n",
+				res.StateBytes, res.Plan.Blocks)
 		}},
 	}
 }

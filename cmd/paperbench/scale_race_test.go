@@ -9,7 +9,9 @@ import "pmuleak/internal/experiments"
 // single vCPU, so the grid is trimmed hard: the point of the -race pass
 // is catching unsynchronized access in the orchestrator, not
 // statistical fidelity (the !race run covers the full Quick scale).
-var goldenScale = experiments.Scale{PayloadBits: 32, Runs: 1, Words: 6}
+// Cells is trimmed the same way: the fleet campaign's surrogate loop is
+// pure math, but under race every atomic claim and rng step is traced.
+var goldenScale = experiments.Scale{PayloadBits: 32, Runs: 1, Words: 6, Cells: 1 << 16}
 
 // goldenCombos under race: one comparison render, on the configuration
 // that exercises both the worker pool and the concurrent trace cache.
@@ -29,3 +31,11 @@ var telemetryGoldenJobs = []int{4}
 // test timeout on a small runner. The byte-equivalence of both modes
 // is proven at full Quick scale in the !race tier.
 var fusedGoldenModes = []bool{true}
+
+// fleetGoldenGrid under race: one sharded/fanned-out render against the
+// serial baseline — enough to race the campaign's chunk claiming. The
+// full shards {1,4,16} × jobs {1,4} acceptance grid runs in the !race
+// tier.
+var fleetGoldenGrid = []struct{ shards, jobs int }{
+	{16, 4},
+}

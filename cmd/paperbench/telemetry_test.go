@@ -23,6 +23,10 @@ import (
 // capacity) — for the last two, the hit+miss totals ARE deterministic
 // and are asserted separately below.
 var deterministicCounters = []string{
+	"campaign.blocks",
+	"campaign.cells",
+	"campaign.runs",
+	"campaign.shards",
 	"dsp.engine.stft.frames",
 	"dsp.engine.welch.segments",
 	"dsp.iqpool.gets",
@@ -134,6 +138,7 @@ func readSnapshot(t *testing.T, path string) telemetry.Snapshot {
 func checkSnapshotSeries(t *testing.T, jobs int, snap telemetry.Snapshot) {
 	t.Helper()
 	positiveCounters := []string{
+		"campaign.cells",
 		"core.tracecache.hits",
 		"core.tracecache.misses",
 		"dsp.fftplan.hits",
@@ -152,6 +157,7 @@ func checkSnapshotSeries(t *testing.T, jobs int, snap telemetry.Snapshot) {
 		}
 	}
 	positiveHistograms := []string{
+		"campaign.block",
 		"stage.simulate",
 		"stage.emit",
 		"stage.emchannel",

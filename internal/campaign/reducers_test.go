@@ -1,0 +1,314 @@
+package campaign
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pmuleak/internal/xrand"
+)
+
+// TestHistBasic: counts land in the right bins, tails catch
+// out-of-range samples, quantiles interpolate sanely.
+func TestHistBasic(t *testing.T) {
+	h := NewHist(0, 1, 10)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%10)/10 + 0.05) // bin centers
+	}
+	h.Add(-1)
+	h.Add(2)
+	if h.N != 1002 || h.Under != 1 || h.Over != 1 {
+		t.Fatalf("N=%d Under=%d Over=%d", h.N, h.Under, h.Over)
+	}
+	for i, c := range h.Bins {
+		if c != 100 {
+			t.Fatalf("bin %d = %d, want 100", i, c)
+		}
+	}
+	if q := h.Quantile(0.5); q < 0.4 || q > 0.6 {
+		t.Fatalf("median = %v, want ~0.5", q)
+	}
+	if q := h.Quantile(0); q > 0.1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q < 0.9 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
+// TestHistMergePartitionInvariance: integer-state reducers must merge
+// to identical state for ANY partition of the samples, not just the
+// block partition — the stronger property the byte-identical contract
+// rides on.
+func TestHistMergePartitionInvariance(t *testing.T) {
+	rng := xrand.Sub(1, 0)
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = rng.Normal(0.5, 0.4) // ~10% in each tail
+	}
+	single := NewHist(0, 1, 64)
+	for _, v := range samples {
+		single.Add(v)
+	}
+	for _, parts := range [][]int{{5000}, {1, 4999}, {1234, 1234, 1234, 1298}, {100, 4900}} {
+		merged := NewHist(0, 1, 64)
+		lo := 0
+		for _, n := range parts {
+			part := NewHist(0, 1, 64)
+			for _, v := range samples[lo : lo+n] {
+				part.Add(v)
+			}
+			merged.Merge(part)
+			lo += n
+		}
+		if !reflect.DeepEqual(merged, single) {
+			t.Fatalf("partition %v: merged state differs from single-pass", parts)
+		}
+	}
+}
+
+// TestSketchAccuracy: quantile estimates stay within the alpha
+// relative-error envelope on a heavy-tailed sample.
+func TestSketchAccuracy(t *testing.T) {
+	const alpha = 0.01
+	s := NewSketch(alpha)
+	rng := xrand.Sub(2, 0)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = math.Exp(rng.Normal(0, 2)) // lognormal, ~4 decades
+		s.Add(samples[i])
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		truth := samples[int(q*float64(len(samples)-1))]
+		got := s.Quantile(q)
+		if rel := math.Abs(got-truth) / truth; rel > 2*alpha {
+			t.Fatalf("q%.2f: got %v, truth %v, rel err %.4f > %.4f", q, got, truth, rel, 2*alpha)
+		}
+	}
+}
+
+// TestSketchZeroBucket: zeros (BER == 0 is the common case) and
+// sub-resolution values count, survive merges, and pin the low
+// quantiles to 0.
+func TestSketchZeroBucket(t *testing.T) {
+	s := NewSketch(0.02)
+	for i := 0; i < 90; i++ {
+		s.Add(0)
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(0.5)
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("median = %v, want 0", q)
+	}
+	if q := s.Quantile(0.95); math.Abs(q-0.5) > 0.05 {
+		t.Fatalf("q95 = %v, want ~0.5", q)
+	}
+	s.Add(-0.25) // clamps to the zero bucket
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("median after negative = %v", q)
+	}
+}
+
+// TestSketchMergePartitionInvariance: same property as the histogram —
+// any partition merges to identical sparse state.
+func TestSketchMergePartitionInvariance(t *testing.T) {
+	rng := xrand.Sub(3, 0)
+	samples := make([]float64, 4000)
+	for i := range samples {
+		samples[i] = math.Exp(rng.Normal(-3, 3))
+		if i%17 == 0 {
+			samples[i] = 0
+		}
+	}
+	single := NewSketch(0.01)
+	for _, v := range samples {
+		single.Add(v)
+	}
+	for _, parts := range [][]int{{4000}, {1, 3999}, {997, 1003, 2000}, {500, 500, 500, 2500}} {
+		merged := NewSketch(0.01)
+		lo := 0
+		for _, n := range parts {
+			part := NewSketch(0.01)
+			for _, v := range samples[lo : lo+n] {
+				part.Add(v)
+			}
+			merged.Merge(part)
+			lo += n
+		}
+		if !reflect.DeepEqual(merged.buckets, single.buckets) ||
+			merged.zero != single.zero || merged.n != single.n {
+			t.Fatalf("partition %v: merged sketch state differs from single-pass", parts)
+		}
+	}
+}
+
+// TestMeanVarAgainstTwoPass: streaming mean/variance matches the
+// two-pass computation to float tolerance, including after merges.
+func TestMeanVarAgainstTwoPass(t *testing.T) {
+	rng := xrand.Sub(4, 0)
+	samples := make([]float64, 10000)
+	var sum float64
+	for i := range samples {
+		samples[i] = rng.Normal(3, 7)
+		sum += samples[i]
+	}
+	mean := sum / float64(len(samples))
+	var m2 float64
+	for _, v := range samples {
+		m2 += (v - mean) * (v - mean)
+	}
+	wantVar := m2 / float64(len(samples))
+
+	var single MeanVar
+	for _, v := range samples {
+		single.Add(v)
+	}
+	var merged MeanVar
+	for lo := 0; lo < len(samples); lo += 1000 {
+		var part MeanVar
+		for _, v := range samples[lo : lo+1000] {
+			part.Add(v)
+		}
+		merged.Merge(part)
+	}
+	for name, mv := range map[string]MeanVar{"single": single, "merged": merged} {
+		if math.Abs(mv.Mean-mean) > 1e-9 {
+			t.Fatalf("%s mean = %v, want %v", name, mv.Mean, mean)
+		}
+		if math.Abs(mv.Variance()-wantVar)/wantVar > 1e-9 {
+			t.Fatalf("%s variance = %v, want %v", name, mv.Variance(), wantVar)
+		}
+	}
+	// Merge with an empty side is the identity in both directions.
+	var empty MeanVar
+	before := merged
+	merged.Merge(empty)
+	if merged != before {
+		t.Fatal("merging an empty state changed the accumulator")
+	}
+	empty.Merge(before)
+	if empty != before {
+		t.Fatal("merging into an empty state did not copy it")
+	}
+}
+
+// TestTopKDeterministicSelection: selection respects the (value desc,
+// cell asc) total order, handles ties by index, and merges to the same
+// result for any partition.
+func TestTopKDeterministicSelection(t *testing.T) {
+	values := []float64{0.5, 0.9, 0.1, 0.9, 0.7, 0.3, 0.9, 0.2}
+	single := NewTopK(3)
+	for i, v := range values {
+		single.Add(v, int64(i))
+	}
+	want := []Item{{0.9, 1}, {0.9, 3}, {0.9, 6}}
+	if !reflect.DeepEqual(single.Items(), want) {
+		t.Fatalf("items = %v, want %v", single.Items(), want)
+	}
+	for _, split := range []int{1, 3, 5, 7} {
+		a, b := NewTopK(3), NewTopK(3)
+		for i, v := range values[:split] {
+			a.Add(v, int64(i))
+		}
+		for i, v := range values[split:] {
+			b.Add(v, int64(split+i))
+		}
+		a.Merge(b)
+		if !reflect.DeepEqual(a.Items(), want) {
+			t.Fatalf("split %d: merged = %v, want %v", split, a.Items(), want)
+		}
+		// The other merge direction must agree too (commutativity).
+		b2, a2 := NewTopK(3), NewTopK(3)
+		for i, v := range values[:split] {
+			a2.Add(v, int64(i))
+		}
+		for i, v := range values[split:] {
+			b2.Add(v, int64(split+i))
+		}
+		b2.Merge(a2)
+		if !reflect.DeepEqual(b2.Items(), want) {
+			t.Fatalf("split %d reversed: merged = %v, want %v", split, b2.Items(), want)
+		}
+	}
+}
+
+// TestTopKUnderfilled: fewer offers than k retains everything, ordered.
+func TestTopKUnderfilled(t *testing.T) {
+	tk := NewTopK(10)
+	tk.Add(1, 5)
+	tk.Add(3, 2)
+	tk.Add(2, 9)
+	want := []Item{{3, 2}, {2, 9}, {1, 5}}
+	if !reflect.DeepEqual(tk.Items(), want) {
+		t.Fatalf("items = %v, want %v", tk.Items(), want)
+	}
+}
+
+// FuzzSketchMerge is the satellite fuzz target: for arbitrary sample
+// sets and split points, merging partial sketches must yield exactly
+// the single-pass sketch state, and merge must be associative.
+func FuzzSketchMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(3), uint8(7))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(0), uint8(0))
+	f.Add([]byte{255, 254, 253}, uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, cut1, cut2 uint8) {
+		// Each input byte becomes one sample spanning ~12 decades plus
+		// exact zeros, exercising the zero bucket and both index signs.
+		samples := make([]float64, len(data))
+		for i, b := range data {
+			if b == 0 {
+				samples[i] = 0
+			} else {
+				samples[i] = math.Exp(float64(b)/10 - 13)
+			}
+		}
+		n := len(samples)
+		i, j := int(cut1)%(n+1), int(cut2)%(n+1)
+		if i > j {
+			i, j = j, i
+		}
+		single := NewSketch(0.01)
+		for _, v := range samples {
+			single.Add(v)
+		}
+		parts := [][]float64{samples[:i], samples[i:j], samples[j:]}
+		sk := make([]*Sketch, 3)
+		for p := range parts {
+			sk[p] = NewSketch(0.01)
+			for _, v := range parts[p] {
+				sk[p].Add(v)
+			}
+		}
+		// Left fold.
+		left := NewSketch(0.01)
+		left.Merge(sk[0])
+		left.Merge(sk[1])
+		left.Merge(sk[2])
+		// Right-leaning fold: a merged into (b merged with c).
+		bc := NewSketch(0.01)
+		bc.Merge(sk[1])
+		bc.Merge(sk[2])
+		right := NewSketch(0.01)
+		right.Merge(sk[0])
+		right.Merge(bc)
+		for name, got := range map[string]*Sketch{"left": left, "right": right} {
+			if !reflect.DeepEqual(got.buckets, single.buckets) ||
+				got.zero != single.zero || got.n != single.n {
+				t.Fatalf("%s fold: merged state differs from single-pass", name)
+			}
+		}
+		if n > 0 {
+			for _, q := range []float64{0, 0.5, 1} {
+				if left.Quantile(q) != single.Quantile(q) {
+					t.Fatalf("quantile %v differs after merge", q)
+				}
+			}
+		}
+	})
+}

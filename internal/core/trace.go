@@ -101,7 +101,7 @@ var (
 	traceMu      sync.Mutex
 	traceEntries = make(map[string]*traceEntry)
 	traceTick    int64
-	traceCap     = 8
+	traceCap     = DefaultTraceCacheCapacity
 	// The hit/miss counters live on the telemetry registry (the -metrics
 	// snapshot's core.tracecache.* series); TraceCacheStats remains as a
 	// thin shim over them. Both are bumped under traceMu. hits+misses
@@ -123,6 +123,40 @@ var (
 // from scratch (the pre-memoization behavior); results are bit-identical
 // either way.
 func SetTraceCacheEnabled(on bool) { traceDisabled.Store(!on) }
+
+// DefaultTraceCacheCapacity is the capacity the cache starts with: large
+// enough for receiver-side sweeps over the Table I laptops, small enough
+// that paper-scale fields (tens of MB each) do not pin gigabytes.
+const DefaultTraceCacheCapacity = 8
+
+// SetTraceCacheCapacity resizes the transmitter-trace LRU. Fleet-scale
+// campaigns anchor against many distinct profiles in one process; the
+// default capacity of 8 would thrash them (every lookup an eviction plus
+// a re-miss), so such runs size the cache to their anchor working set
+// (paperbench -tracecache-cap). Shrinking evicts least-recently-used
+// entries immediately. n < 1 restores the default. Counter semantics are
+// unchanged: lookups still split into hits and misses exactly as before,
+// and evictions still count per entry dropped — only the point where
+// eviction starts moves. Results are bit-identical at every capacity.
+func SetTraceCacheCapacity(n int) {
+	if n < 1 {
+		n = DefaultTraceCacheCapacity
+	}
+	traceMu.Lock()
+	traceCap = n
+	for len(traceEntries) > traceCap {
+		evictOldestLocked()
+	}
+	traceLive.Set(int64(len(traceEntries)))
+	traceMu.Unlock()
+}
+
+// TraceCacheCapacity reports the cache's current entry capacity.
+func TraceCacheCapacity() int {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return traceCap
+}
 
 // TraceCacheEnabled reports whether the transmitter-trace cache is on.
 func TraceCacheEnabled() bool { return !traceDisabled.Load() }

@@ -146,3 +146,60 @@ func TestTraceCacheEviction(t *testing.T) {
 		}
 	})
 }
+
+// TestTraceCacheCapacity: the capacity knob round-trips, shrinking
+// evicts immediately, growing stops eviction for the larger working
+// set, and n < 1 restores the default.
+func TestTraceCacheCapacity(t *testing.T) {
+	tb := NewTestbed(WithSeed(5))
+	withTraceCache(t, true, func() {
+		defer SetTraceCacheCapacity(0)
+		if got := TraceCacheCapacity(); got != DefaultTraceCacheCapacity {
+			t.Fatalf("default capacity = %d, want %d", got, DefaultTraceCacheCapacity)
+		}
+
+		// Grow past the default: a working set of default+2 distinct
+		// traces stays fully resident with zero evictions.
+		SetTraceCacheCapacity(DefaultTraceCacheCapacity + 2)
+		if got := TraceCacheCapacity(); got != DefaultTraceCacheCapacity+2 {
+			t.Fatalf("capacity = %d after grow, want %d", got, DefaultTraceCacheCapacity+2)
+		}
+		for bits := 8; bits <= 8*(DefaultTraceCacheCapacity+2); bits += 8 {
+			tb.RunCovert(CovertConfig{PayloadBits: bits})
+		}
+		if ev := traceEvictions.Load(); ev != 0 {
+			t.Fatalf("grown cache evicted %d entries for an in-capacity working set", ev)
+		}
+		traceMu.Lock()
+		n := len(traceEntries)
+		traceMu.Unlock()
+		if n != DefaultTraceCacheCapacity+2 {
+			t.Fatalf("cache holds %d entries, want %d", n, DefaultTraceCacheCapacity+2)
+		}
+
+		// Shrink: over-capacity entries are evicted immediately, not on
+		// the next lookup.
+		SetTraceCacheCapacity(2)
+		traceMu.Lock()
+		n = len(traceEntries)
+		traceMu.Unlock()
+		if n > 2 {
+			t.Fatalf("cache holds %d entries after shrinking to 2", n)
+		}
+		if ev := traceEvictions.Load(); ev != uint64(DefaultTraceCacheCapacity) {
+			t.Fatalf("shrink evicted %d entries, want %d", ev, DefaultTraceCacheCapacity)
+		}
+
+		// The shrunken cache still serves usable results.
+		res := tb.RunCovert(CovertConfig{PayloadBits: 8})
+		if res == nil || len(res.Payload) == 0 {
+			t.Fatalf("post-shrink run broken")
+		}
+
+		// n < 1 restores the default.
+		SetTraceCacheCapacity(-3)
+		if got := TraceCacheCapacity(); got != DefaultTraceCacheCapacity {
+			t.Fatalf("capacity = %d after reset, want %d", got, DefaultTraceCacheCapacity)
+		}
+	})
+}

@@ -38,17 +38,21 @@ func expSpan(name string) telemetry.Span {
 // Scale trades experiment fidelity for runtime. Tests and smoke runs
 // use Quick; the paperbench binary defaults to Full.
 type Scale struct {
-	PayloadBits int // covert payload per run
-	Runs        int // averaging runs per configuration
-	Words       int // typed words for keylogging
+	PayloadBits int   // covert payload per run
+	Runs        int   // averaging runs per configuration
+	Words       int   // typed words for keylogging
+	Cells       int64 // fleet-campaign population size
 }
 
-// Quick is the CI-friendly scale.
-var Quick = Scale{PayloadBits: 96, Runs: 2, Words: 15}
+// Quick is the CI-friendly scale. The fleet population stays at a full
+// million cells even here: campaign cells run through the anchored
+// surrogate at tens of millions per second, so the population is not
+// where the quick/full time difference lives.
+var Quick = Scale{PayloadBits: 96, Runs: 2, Words: 15, Cells: 1 << 20}
 
 // Full approximates the paper's measurement sizes (the paper types 1000
 // words and averages five runs).
-var Full = Scale{PayloadBits: 512, Runs: 5, Words: 120}
+var Full = Scale{PayloadBits: 512, Runs: 5, Words: 120, Cells: 4 << 20}
 
 // ---------------------------------------------------------------------
 // Fig. 2 — spectrogram of the active/idle micro-benchmark.
