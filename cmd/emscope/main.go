@@ -7,6 +7,7 @@
 //	emscope                             # Fig. 2 micro-benchmark view
 //	emscope -mode keys -text "hello hpca"
 //	emscope -laptop "Sony Ultrabook" -active 5ms -idle 5ms
+//	emscope -mode serve -streams 8 -workers 4 -verify   # emscoped daemon
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "microbench", "microbench | keys")
+		mode     = flag.String("mode", "microbench", "microbench | keys | serve")
 		model    = flag.String("laptop", laptop.Reference().Model, "target laptop model (see -list)")
 		list     = flag.Bool("list", false, "list available laptop models and exit")
 		active   = flag.Duration("active", 2*time.Millisecond, "micro-benchmark active period (t1)")
@@ -37,6 +38,15 @@ func main() {
 		distance = flag.Float64("distance", 0.10, "antenna distance in meters")
 		hifi     = flag.Bool("hifi", false, "use the pulse-train emission model (spectrum emerges from pulse timing)")
 		csvPath  = flag.String("csv", "", "also write the spectrogram as CSV to this file")
+
+		// -mode serve (emscoped): concurrent capture streams over the
+		// stream.Daemon worker pool.
+		streams = flag.Int("streams", 8, "serve: number of concurrent capture streams")
+		workers = flag.Int("workers", 4, "serve: worker pool size")
+		chunk   = flag.Int("chunk", 65536, "serve: samples per pushed chunk")
+		queue   = flag.Int("queue", 8, "serve: per-stream queue depth in chunks (backpressure bound)")
+		kind    = flag.String("kind", "mixed", "serve: stream mix — covert | keys | mixed")
+		verify  = flag.Bool("verify", false, "serve: recompute each stream through the batch pipeline and require byte-identical output")
 	)
 	flag.Parse()
 
@@ -85,6 +95,15 @@ func main() {
 		core.RenderSpectrogram(os.Stdout, s, *rows, *cols)
 		writeCSV(*csvPath, s)
 		fmt.Printf("\n%d keystrokes injected; each vertical burst is one key press.\n", len(events))
+	case "serve":
+		os.Exit(runServe(prof, *seed, *distance, serveOptions{
+			streams: *streams,
+			workers: *workers,
+			chunk:   *chunk,
+			queue:   *queue,
+			kind:    *kind,
+			verify:  *verify,
+		}))
 	default:
 		fmt.Fprintf(os.Stderr, "emscope: unknown mode %q\n", *mode)
 		os.Exit(1)

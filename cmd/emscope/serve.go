@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+
+	"pmuleak/internal/core"
+	"pmuleak/internal/covert"
+	"pmuleak/internal/keylog"
+	"pmuleak/internal/laptop"
+	"pmuleak/internal/sdr"
+	"pmuleak/internal/stream"
+	"pmuleak/internal/telemetry"
+)
+
+// serveOptions is the `-mode serve` (emscoped) configuration.
+type serveOptions struct {
+	streams int
+	workers int
+	chunk   int
+	queue   int
+	kind    string // covert | keys | mixed
+	verify  bool
+}
+
+// serveStream is one attached capture stream: its prepared ground
+// truth, its incremental processor, and its daemon handle.
+type serveStream struct {
+	name string
+	// exactly one of the covert/keylog pairs is set
+	pc *core.PreparedCovert
+	rx *stream.CovertReceiver
+	pk *core.PreparedKeylog
+	kd *stream.KeylogDetector
+	ds *stream.DaemonStream
+}
+
+// runServe is the emscoped entry point: it prepares one capture per
+// stream (distinct seeds, so each stream carries different payloads and
+// keystrokes), multiplexes all of them over a stream.Daemon worker
+// pool in -chunk-sample chunks through bounded -queue rings, drains
+// gracefully, and scores every stream's finalized output against its
+// ground truth. With -verify it additionally recomputes each stream
+// through the batch pipeline and requires the streamed result to match
+// byte for byte — the CI daemon smoke gate. Returns the process exit
+// code.
+func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions) int {
+	if o.streams < 1 || o.workers < 1 || o.chunk < 1 || o.queue < 1 {
+		fmt.Fprintln(os.Stderr, "emscope: -streams, -workers, -chunk, and -queue must all be >= 1")
+		return 2
+	}
+	fmt.Printf("%s — emscoped: %d streams (%s) over %d workers, chunk %d samples, queue %d chunks\n",
+		prof, o.streams, o.kind, o.workers, o.chunk, o.queue)
+
+	streams := make([]*serveStream, o.streams)
+	for i := range streams {
+		tb := core.NewTestbed(
+			core.WithLaptop(prof),
+			core.WithSeed(seed+int64(i)),
+			core.WithDistance(distance),
+		)
+		covertStream := o.kind == "covert" || (o.kind == "mixed" && i%2 == 0)
+		s := &serveStream{}
+		if covertStream {
+			s.name = fmt.Sprintf("cov%d", i)
+			s.pc = tb.PrepareCovert(core.CovertConfig{PayloadBits: 48})
+			rx, err := stream.NewCovertReceiver(s.pc.RXCfg, s.pc.Cap.SampleRate, s.pc.Cap.CenterFreqHz)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "emscope: stream %s: %v\n", s.name, err)
+				return 2
+			}
+			s.rx = rx
+		} else {
+			s.name = fmt.Sprintf("key%d", i)
+			s.pk = tb.PrepareKeylog(core.KeylogConfig{Words: 3})
+			kd, err := stream.NewKeylogDetector(s.pk.DetCfg, s.pk.Cap.SampleRate, s.pk.Cap.CenterFreqHz)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "emscope: stream %s: %v\n", s.name, err)
+				return 2
+			}
+			s.kd = kd
+		}
+		streams[i] = s
+	}
+
+	d := stream.NewDaemon(o.workers)
+	var wg sync.WaitGroup
+	for _, s := range streams {
+		iq := s.capture().IQ
+		proc := stream.Processor(s.rx)
+		if s.kd != nil {
+			proc = s.kd
+		}
+		s.ds = d.Attach(s.name, proc, o.queue)
+		wg.Add(1)
+		go func(s *serveStream, iq []complex128) {
+			defer wg.Done()
+			for _, chunk := range stream.Chunks(iq, o.chunk) {
+				s.ds.Push(chunk)
+			}
+			s.ds.Close()
+		}(s, iq)
+	}
+	wg.Wait()
+	d.Drain()
+
+	exit := 0
+	for _, s := range streams {
+		raw := 16 * len(s.capture().IQ)
+		if s.rx != nil {
+			state := s.rx.StateBytes()
+			demod := s.rx.Finalize()
+			res := s.pc.Finish(demod)
+			fmt.Printf("stream %-6s covert: %s payload_ok=%v  state %s of %s raw (%dx)\n",
+				s.name, res.Measurement, res.Measurement.PayloadOK,
+				fmtBytes(state), fmtBytes(raw), raw/state)
+			if o.verify {
+				batch := covert.Demodulate(s.pc.Cap, s.pc.RXCfg)
+				exit = verdict(s.name, reflect.DeepEqual(demod, batch), exit)
+			}
+		} else {
+			state := s.kd.StateBytes()
+			det := s.kd.Finalize()
+			res := s.pk.Finish(det)
+			fmt.Printf("stream %-6s keylog: %d/%d keystrokes, TPR %.2f FPR %.2f  state %s of %s raw (%dx)\n",
+				s.name, res.Char.Matched, res.Char.Truth, res.Char.TPR, res.Char.FPR,
+				fmtBytes(state), fmtBytes(raw), raw/state)
+			if o.verify {
+				batch := keylog.Detect(s.pk.Cap, s.pk.DetCfg)
+				exit = verdict(s.name, reflect.DeepEqual(det, batch), exit)
+			}
+		}
+		s.capture().Recycle()
+	}
+
+	fmt.Println("\ntelemetry stream.daemon.*:")
+	snap := telemetry.Capture().FilterPrefix("stream.daemon.")
+	for _, name := range snap.CounterNames() {
+		fmt.Printf("  %-40s %d\n", name, snap.Counters[name])
+	}
+	if o.verify {
+		if exit == 0 {
+			fmt.Printf("verify: all %d streams byte-identical to the batch pipelines\n", o.streams)
+		} else {
+			fmt.Println("verify: FAILED")
+		}
+	}
+	return exit
+}
+
+func (s *serveStream) capture() *sdr.Capture {
+	if s.pc != nil {
+		return s.pc.Cap
+	}
+	return s.pk.Cap
+}
+
+// verdict prints one stream's verification outcome and folds it into
+// the exit code.
+func verdict(name string, ok bool, exit int) int {
+	if ok {
+		fmt.Printf("  verify %s: streamed output matches batch byte-for-byte\n", name)
+		return exit
+	}
+	fmt.Fprintf(os.Stderr, "emscope: verify %s: streamed output DIVERGED from batch\n", name)
+	return 1
+}
+
+// fmtBytes renders a byte count in the nearest binary unit.
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

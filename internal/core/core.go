@@ -221,6 +221,38 @@ type CovertResult struct {
 // result's Run, Payload, and TXCfg fields are shared with other results
 // of the same transmitter configuration — treat them as read-only.
 func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
+	p := tb.PrepareCovert(cfg)
+	demodSpan := stageDemod.Start()
+	demod := covert.Demodulate(p.Cap, p.RXCfg)
+	demodSpan.End()
+	res := p.finish(demod)
+	// Demodulate keeps no reference to the raw samples; recycle them.
+	p.Cap.Recycle()
+	return res
+}
+
+// PreparedCovert is the receiver-side input of one covert run: the
+// capture exactly as the demodulator would see it (faults applied) plus
+// the receiver config RunCovert would use and the transmitter-side
+// ground truth needed to score the decode. It is the seam between
+// capture production and demodulation that lets the batch path
+// (covert.Demodulate) and the streaming path (stream.CovertReceiver)
+// consume the identical capture. The caller owns Cap and must Recycle
+// it; when the transmitter trace came from the cache, Run, Payload, and
+// TXCfg are shared — treat them as read-only.
+type PreparedCovert struct {
+	Cap     *sdr.Capture
+	RXCfg   covert.RXConfig
+	Run     *covert.TxRun
+	Payload []byte
+	TXCfg   covert.TXConfig
+	Faults  faults.Report
+}
+
+// PrepareCovert runs the transmitter half, the EM channel, the SDR
+// capture, and fault injection — everything RunCovert does before
+// demodulation — and returns the assembled receiver-side input.
+func (tb *Testbed) PrepareCovert(cfg CovertConfig) *PreparedCovert {
 	cfg.fill(tb)
 	tr, cached := tb.transmitterTrace(cfg)
 
@@ -255,20 +287,31 @@ func (tb *Testbed) RunCovert(cfg CovertConfig) *CovertResult {
 	if cfg.RXHarmonics > 0 {
 		rxCfg.NumHarmonics = cfg.RXHarmonics
 	}
-	demodSpan := stageDemod.Start()
-	demod := covert.Demodulate(cap, rxCfg)
-	demodSpan.End()
-	res := &CovertResult{
-		Measurement: covert.Measure(tr.run, demod, tr.txCfg, tr.payload),
-		Run:         tr.run,
-		Demod:       demod,
-		Payload:     tr.payload,
-		TXCfg:       tr.txCfg,
-		Faults:      faultRep,
+	return &PreparedCovert{
+		Cap:     cap,
+		RXCfg:   rxCfg,
+		Run:     tr.run,
+		Payload: tr.payload,
+		TXCfg:   tr.txCfg,
+		Faults:  faultRep,
 	}
-	// Demodulate keeps no reference to the raw samples; recycle them.
-	cap.Recycle()
-	return res
+}
+
+// Finish scores a demod produced outside RunCovert — typically a
+// stream.CovertReceiver's Finalize output, as in `emscope serve` —
+// against this prepared run's ground truth.
+func (p *PreparedCovert) Finish(demod *covert.Demod) *CovertResult { return p.finish(demod) }
+
+// finish scores a demod against the prepared run's ground truth.
+func (p *PreparedCovert) finish(demod *covert.Demod) *CovertResult {
+	return &CovertResult{
+		Measurement: covert.Measure(p.Run, demod, p.TXCfg, p.Payload),
+		Run:         p.Run,
+		Demod:       demod,
+		Payload:     p.Payload,
+		TXCfg:       p.TXCfg,
+		Faults:      p.Faults,
+	}
 }
 
 // spawnBackgroundHog runs the §IV-C2 resource-intensive background
@@ -364,6 +407,32 @@ func (tb *Testbed) keylogPlan() laptop.EmanationPlan {
 
 // RunKeylog executes a full keystroke-logging attack.
 func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
+	p := tb.PrepareKeylog(cfg)
+	detSpan := stageDetect.Start()
+	det := keylog.Detect(p.Cap, p.DetCfg)
+	detSpan.End()
+	p.Cap.Recycle()
+	return p.finish(det)
+}
+
+// PreparedKeylog is the receiver-side input of one keystroke-logging
+// run: the capture as the detector would see it (faults applied), the
+// detector config RunKeylog would use, and the typed ground truth for
+// scoring. Like PreparedCovert, it is the seam that lets the batch
+// detector and the streaming detector consume the identical capture.
+// The caller owns Cap and must Recycle it.
+type PreparedKeylog struct {
+	Cap    *sdr.Capture
+	DetCfg keylog.DetectorConfig
+	Text   string
+	Events []keylog.KeyEvent
+	Faults faults.Report
+}
+
+// PrepareKeylog runs the typing simulation, emanation synthesis, EM
+// channel, SDR capture, and fault injection — everything RunKeylog does
+// before detection — and returns the assembled receiver-side input.
+func (tb *Testbed) PrepareKeylog(cfg KeylogConfig) *PreparedKeylog {
 	text := cfg.Text
 	if text == "" {
 		n := cfg.Words
@@ -424,19 +493,30 @@ func (tb *Testbed) RunKeylog(cfg KeylogConfig) *KeylogResult {
 	if cfg.GapAware {
 		detCfg.GapAware = true
 	}
-	detSpan := stageDetect.Start()
-	det := keylog.Detect(cap, detCfg)
-	detSpan.End()
-	cap.Recycle()
+	return &PreparedKeylog{
+		Cap:    cap,
+		DetCfg: detCfg,
+		Text:   text,
+		Events: events,
+		Faults: faultRep,
+	}
+}
 
+// Finish scores a detection produced outside RunKeylog — typically a
+// stream.KeylogDetector's Finalize output — against this prepared
+// run's ground truth.
+func (p *PreparedKeylog) Finish(det *keylog.Detection) *KeylogResult { return p.finish(det) }
+
+// finish scores a detection against the prepared run's ground truth.
+func (p *PreparedKeylog) finish(det *keylog.Detection) *KeylogResult {
 	groups := keylog.GroupWords(det.Keystrokes, 0)
 	return &KeylogResult{
-		Text:      text,
-		Events:    events,
+		Text:      p.Text,
+		Events:    p.Events,
 		Detection: det,
-		Char:      keylog.ScoreKeystrokes(events, det.Keystrokes, 30*sim.Millisecond),
-		Word:      keylog.ScoreWords(keylog.WordLengths(text), keylog.PredictedWordLengths(groups)),
-		Faults:    faultRep,
+		Char:      keylog.ScoreKeystrokes(p.Events, det.Keystrokes, 30*sim.Millisecond),
+		Word:      keylog.ScoreWords(keylog.WordLengths(p.Text), keylog.PredictedWordLengths(groups)),
+		Faults:    p.Faults,
 	}
 }
 

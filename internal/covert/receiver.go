@@ -167,6 +167,69 @@ type Demod struct {
 	Quality Quality
 }
 
+// Carrier is the outcome of the receiver's carrier search: the Eq. (1)
+// frequency set, the spike's robust z-score over the PSD floor, the
+// re-acquisition retries consumed, and whether the gate passed. The
+// field values mirror exactly what Demodulate leaves in a Demod — on a
+// failed search, Offsets and Z still carry the first pass so the caller
+// can report how close the capture came.
+type Carrier struct {
+	Offsets []float64
+	Z       float64
+	Retries int
+	Found   bool
+}
+
+// SearchCarrier runs the receiver's step-1 carrier search over an
+// already-computed Welch PSD (one value per FFT bin, fftSize ==
+// cfg.FFTSize). It is the seam the streaming receiver shares with
+// Demodulate: both paths make identical gate decisions because both run
+// this exact function over bit-identical PSDs.
+func SearchCarrier(psd []float64, sampleRate, centerFreqHz float64, cfg RXConfig) Carrier {
+	var car Carrier
+	var spikePower float64
+	car.Offsets, spikePower = selectOffsetsWiden(psd, sampleRate, centerFreqHz, cfg, 0)
+	floor := dsp.Median(psd)
+	sigma := 1.4826 * dsp.MAD(psd)
+	if sigma <= 0 {
+		return car
+	}
+	car.Z = (spikePower - floor) / sigma
+	if car.Z < cfg.CarrierMinZ {
+		// Bounded re-acquisition: a gain step or saturation burst can
+		// smear the spike below the gate on the first look. Each retry
+		// admits more candidate peaks at tighter spacing and relaxes
+		// the gate by 25%, so a genuinely dead capture still fails
+		// every step while a damaged-but-live one re-locks.
+		for r := 1; r <= cfg.CarrierRetries; r++ {
+			offsets, spike := selectOffsetsWiden(psd, sampleRate, centerFreqHz, cfg, r)
+			z := (spike - floor) / sigma
+			if z >= cfg.CarrierMinZ*math.Pow(0.75, float64(r)) {
+				car.Offsets, car.Z, car.Retries = offsets, z, r
+				car.Found = true
+				return car
+			}
+		}
+		return car
+	}
+	car.Found = true
+	return car
+}
+
+// AcquisitionDecay returns the resonator decay factor Demodulate
+// derives from the config — the streaming receiver must run its
+// resonators with the identical constant to reproduce the batch trace.
+func AcquisitionDecay(cfg RXConfig, sampleRate float64) float64 {
+	tc := cfg.TrackerTimeConstant
+	if tc == 0 {
+		// A third of the shortest bit period: fast enough to keep bit
+		// edges sharp, narrow enough to reject interferers a few tens
+		// of kHz away from the tracked spikes.
+		tc = cfg.MinBitPeriod / 3
+	}
+	return dsp.DecayForTimeConstant(tc.Seconds(), sampleRate)
+}
+
 // Demodulate runs the full §IV-B pipeline over a capture.
 func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 	if err := cfg.Validate(); err != nil {
@@ -183,53 +246,42 @@ func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 	// floor can be decisive; a robust z-score captures that.
 	eng := dsp.NewEngine(cfg.Parallelism)
 	psd := eng.WelchPSD(cap.IQ, cfg.FFTSize)
-	var spikePower float64
-	d.Offsets, spikePower = selectOffsets(psd, cap, cfg)
-	floor := dsp.Median(psd)
-	sigma := 1.4826 * dsp.MAD(psd)
-	if sigma <= 0 {
+	car := SearchCarrier(psd, cap.SampleRate, cap.CenterFreqHz, cfg)
+	d.Offsets = car.Offsets
+	d.Quality.CarrierZ = car.Z
+	d.Quality.Retries = car.Retries
+	if !car.Found {
 		return d
-	}
-	d.Quality.CarrierZ = (spikePower - floor) / sigma
-	if d.Quality.CarrierZ < cfg.CarrierMinZ {
-		// Bounded re-acquisition: a gain step or saturation burst can
-		// smear the spike below the gate on the first look. Each retry
-		// admits more candidate peaks at tighter spacing and relaxes
-		// the gate by 25%, so a genuinely dead capture still fails
-		// every step while a damaged-but-live one re-locks.
-		ok := false
-		for r := 1; r <= cfg.CarrierRetries; r++ {
-			offsets, spike := selectOffsetsWiden(psd, cap, cfg, r)
-			z := (spike - floor) / sigma
-			if z >= cfg.CarrierMinZ*math.Pow(0.75, float64(r)) {
-				d.Offsets, d.Quality.CarrierZ, d.Quality.Retries = offsets, z, r
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return d
-		}
 	}
 	d.CarrierFound = true
 
 	// 2. Acquisition (Eq. 1): per-sample summed spike amplitude,
 	// tracked at the exact spike frequencies.
-	tc := cfg.TrackerTimeConstant
-	if tc == 0 {
-		// A third of the shortest bit period: fast enough to keep bit
-		// edges sharp, narrow enough to reject interferers a few tens
-		// of kHz away from the tracked spikes.
-		tc = cfg.MinBitPeriod / 3
-	}
 	norm := make([]float64, len(d.Offsets))
 	for i, f := range d.Offsets {
 		norm[i] = f / cap.SampleRate
 	}
-	decay := dsp.DecayForTimeConstant(tc.Seconds(), cap.SampleRate)
+	decay := AcquisitionDecay(cfg, cap.SampleRate)
 	y := dsp.ResonatorBank(cap.IQ, norm, decay)
 	d.Y = dsp.DecimateMean(y, cfg.DecimateFactor)
 	d.DT = float64(cfg.DecimateFactor) / cap.SampleRate
+
+	return DemodulateTrace(d, cfg)
+}
+
+// DemodulateTrace runs the back half of the §IV-B pipeline — edge
+// detection, period estimation, gap filling, per-bit power, and
+// thresholding (steps 3–6) — over a Demod whose acquisition trace is
+// already in place: CarrierFound, Offsets, Quality.{CarrierZ,Retries},
+// Y, and DT must be set. It is the seam the streaming receiver shares
+// with Demodulate: given a bit-identical trace, it produces
+// bit-identical decoded bits, so streaming ≡ batch reduces to proving
+// the traces equal. The Demod is finished in place and returned.
+func DemodulateTrace(d *Demod, cfg RXConfig) *Demod {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := dsp.NewEngine(cfg.Parallelism)
 
 	// 3. First-pass edge detection sized by the minimum plausible bit
 	// period (Fig. 5).
@@ -307,35 +359,50 @@ func Demodulate(cap *sdr.Capture, cfg RXConfig) *Demod {
 	return d
 }
 
-// selectOffsets chooses the Eq. (1) frequency set S as exact baseband
-// offsets, plus the strongest selected spike's PSD power for carrier
-// detection. With an f0 hint the offsets are the harmonics that fall in
-// band; otherwise the strongest well-separated PSD peaks are used.
-// Narrowband interferers near a spike are attenuated by the acquisition
-// tracker's own selectivity, so no candidate is excluded here; slower
-// signaling (a narrower tracker) is the §IV-C3 remedy when the band is
-// polluted.
-func selectOffsets(psd []float64, cap *sdr.Capture, cfg RXConfig) ([]float64, float64) {
-	return selectOffsetsWiden(psd, cap, cfg, 0)
+// HintedOffsets returns the Eq. (1) frequency set the receiver would
+// select at the given re-acquisition widening level using only the
+// cfg.ExpectedF0 hint — no PSD required. ok is false when the receiver
+// would instead fall back to the blind PSD peak search (no hint
+// configured, or no harmonic lands in the usable band): the streaming
+// receiver needs the offsets before the capture ends, so blind
+// selection — which depends on the full capture's PSD — is outside its
+// contract.
+func HintedOffsets(cfg RXConfig, sampleRate, centerFreqHz float64, widen int) ([]float64, bool) {
+	offsets := hintedOffsets(cfg, sampleRate, centerFreqHz, cfg.NumHarmonics+widen)
+	return offsets, len(offsets) > 0
 }
 
-// selectOffsetsWiden is selectOffsets with a re-acquisition widening
-// level: each level admits one more candidate spike and halves the
-// minimum peak spacing, so a spike displaced or split by mid-capture
-// damage can still be found. Level 0 is the exact first-pass search.
-func selectOffsetsWiden(psd []float64, cap *sdr.Capture, cfg RXConfig, widen int) ([]float64, float64) {
-	m := cfg.FFTSize
-	usable := 0.46 * cap.SampleRate
-	numHarmonics := cfg.NumHarmonics + widen
+// hintedOffsets collects up to numHarmonics in-band harmonics of the
+// ExpectedF0 hint as baseband offsets; empty without a usable hint.
+func hintedOffsets(cfg RXConfig, sampleRate, centerFreqHz float64, numHarmonics int) []float64 {
+	usable := 0.46 * sampleRate
 	var offsets []float64
 	if cfg.ExpectedF0 > 0 {
-		for k := 1; len(offsets) < numHarmonics && float64(k)*cfg.ExpectedF0 < cap.SampleRate*3; k++ {
-			off := float64(k)*cfg.ExpectedF0 - cap.CenterFreqHz
+		for k := 1; len(offsets) < numHarmonics && float64(k)*cfg.ExpectedF0 < sampleRate*3; k++ {
+			off := float64(k)*cfg.ExpectedF0 - centerFreqHz
 			if math.Abs(off) <= usable {
 				offsets = append(offsets, off)
 			}
 		}
 	}
+	return offsets
+}
+
+// selectOffsetsWiden chooses the Eq. (1) frequency set S as exact
+// baseband offsets, plus the strongest selected spike's PSD power for
+// carrier detection. With an f0 hint the offsets are the harmonics that
+// fall in band; otherwise the strongest well-separated PSD peaks are
+// used. Narrowband interferers near a spike are attenuated by the
+// acquisition tracker's own selectivity, so no candidate is excluded
+// here; slower signaling (a narrower tracker) is the §IV-C3 remedy when
+// the band is polluted. The widen level is the re-acquisition widening:
+// each level admits one more candidate spike and halves the minimum
+// peak spacing, so a spike displaced or split by mid-capture damage can
+// still be found. Level 0 is the exact first-pass search.
+func selectOffsetsWiden(psd []float64, sampleRate, centerFreqHz float64, cfg RXConfig, widen int) ([]float64, float64) {
+	m := cfg.FFTSize
+	numHarmonics := cfg.NumHarmonics + widen
+	offsets := hintedOffsets(cfg, sampleRate, centerFreqHz, numHarmonics)
 	if len(offsets) == 0 {
 		// Blind selection: strongest well-separated PSD peaks,
 		// excluding DC.
@@ -357,7 +424,7 @@ func selectOffsetsWiden(psd []float64, cap *sdr.Capture, cfg RXConfig, widen int
 			peaks = peaks[:numHarmonics]
 		}
 		for _, p := range peaks {
-			offsets = append(offsets, dsp.BinFrequency(p, m, cap.SampleRate))
+			offsets = append(offsets, dsp.BinFrequency(p, m, sampleRate))
 		}
 		if len(offsets) == 0 {
 			offsets = []float64{0}
@@ -365,7 +432,7 @@ func selectOffsetsWiden(psd []float64, cap *sdr.Capture, cfg RXConfig, widen int
 	}
 	var spike float64
 	for _, f := range offsets {
-		if p := psd[dsp.FrequencyBin(f, m, cap.SampleRate)]; p > spike {
+		if p := psd[dsp.FrequencyBin(f, m, sampleRate)]; p > spike {
 			spike = p
 		}
 	}
@@ -420,6 +487,48 @@ func estimatePeriod(distances []float64, dt float64, minPeriod int) int {
 		}
 	}
 	return int(best)
+}
+
+// EstimatePeriod exposes the receiver's signaling-period estimator (see
+// estimatePeriod) for running trackers outside the package: the
+// streaming receiver re-estimates the period over each window of newly
+// decoded inter-start distances with exactly the estimator the batch
+// path and the Resync gap filler use.
+func EstimatePeriod(distances []float64, dt float64, minPeriod int) int {
+	return estimatePeriod(distances, dt, minPeriod)
+}
+
+// TrackWindow runs the §IV-B2 per-batch statistics over one window of
+// the acquisition trace as a standalone primitive: edge detection with
+// the minimum-period kernel, the period estimate from the inter-start
+// distances, and the fraction of distances within 10% of the period
+// grid (the same confidence Quality.BatchConfidence records). It is the
+// running-tracker form of the Resync path's per-window re-estimation —
+// the streaming receiver calls it on recent trace windows to publish a
+// live period/confidence without waiting for Finalize. edges reports
+// the detected starts; a window with fewer than 3 yields (0, 0, edges).
+func TrackWindow(y []float64, dt float64, cfg RXConfig) (periodS, confidence float64, edges int) {
+	minPeriod := int(cfg.MinBitPeriod.Seconds() / dt)
+	if minPeriod < 2 {
+		minPeriod = 2
+	}
+	starts := detectEdges(y, evenAtLeast(minPeriod/2), minPeriod, cfg, nil)
+	if len(starts) < 3 {
+		return 0, 0, len(starts)
+	}
+	distances := make([]float64, 0, len(starts)-1)
+	for i := 1; i < len(starts); i++ {
+		distances = append(distances, float64(starts[i]-starts[i-1])*dt)
+	}
+	period := estimatePeriod(distances, dt, minPeriod)
+	fit := 0
+	for _, g := range distances {
+		gs := g / dt
+		if k := math.Round(gs / float64(period)); k >= 1 && math.Abs(gs-k*float64(period))/float64(period) < 0.1 {
+			fit++
+		}
+	}
+	return float64(period) * dt, float64(fit) / float64(len(distances)), len(starts)
 }
 
 // detectEdges convolves the acquisition trace with a rising-edge kernel

@@ -109,92 +109,102 @@ type Detection struct {
 	Threshold float64
 }
 
-// Detect runs the §V-C detector: STFT with non-overlapping ~5 ms
-// windows, band selection around the PMU spike, thresholding, a merge
-// pass, and the minimum-duration filter.
-func Detect(cap *sdr.Capture, cfg DetectorConfig) *Detection {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	det := &Detection{}
-	windowSamples := int(cfg.Window.Seconds() * cap.SampleRate)
-	if windowSamples < 1 {
-		// The STFT window rounds to zero samples (NextPowerOfTwo would
-		// panic): the capture cannot resolve the configured window, so
-		// there is nothing to detect.
-		return det
-	}
-	fftSize := dsp.NextPowerOfTwo(windowSamples)
-	if fftSize > len(cap.IQ) {
-		return det
-	}
-	// Non-overlapping windows: hop = fftSize.
-	s := dsp.NewEngine(cfg.Parallelism).STFT(cap.IQ, fftSize, fftSize, dsp.Hann(fftSize), cap.SampleRate)
-	det.FrameDT = float64(fftSize) / cap.SampleRate
+// Geometry is the derived STFT/tracking geometry of one detector run —
+// everything the streaming detector needs to frame samples and schedule
+// block re-acquisitions before it has seen any data.
+type Geometry struct {
+	// FFTSize is the non-overlapping STFT frame length in samples
+	// (NextPowerOfTwo of the configured window).
+	FFTSize int
+	// FrameDT is seconds per STFT frame.
+	FrameDT float64
+	// BlockFrames is the re-acquisition block length in frames; 0 means
+	// a single global block spanning the whole capture (TrackBlock
+	// unset), which only the batch path can realize.
+	BlockFrames int
+	// SearchBins is the half-width of the per-block spike search.
+	SearchBins int
+}
 
-	// Band selection: start around the expected spike (or the
-	// strongest non-DC peak), then re-acquire per block so the band
-	// follows the VRM clock's slow thermal drift.
-	var center int
-	if cfg.ExpectedF0 > 0 {
-		center = s.Bin(cfg.ExpectedF0 - cap.CenterFreqHz)
-	} else {
-		mean := make([]float64, fftSize)
-		for _, row := range s.Mag {
-			for i, v := range row {
-				mean[i] += v
-			}
-		}
-		mean[0] = 0
-		_, center = dsp.Max(mean)
+// PlanGeometry derives the detector geometry for a sample rate. ok is
+// false when the configured window rounds to zero samples at this rate
+// — the batch path returns an empty Detection for such captures, and a
+// streaming detector has nothing to frame.
+func PlanGeometry(cfg DetectorConfig, sampleRate float64) (g Geometry, ok bool) {
+	windowSamples := int(cfg.Window.Seconds() * sampleRate)
+	if windowSamples < 1 {
+		return g, false
 	}
-	blockFrames := s.Frames()
+	g.FFTSize = dsp.NextPowerOfTwo(windowSamples)
+	g.FrameDT = float64(g.FFTSize) / sampleRate
 	if cfg.TrackBlock > 0 {
-		blockFrames = int(cfg.TrackBlock.Seconds() / det.FrameDT)
-		if blockFrames < 1 {
-			blockFrames = 1
+		g.BlockFrames = int(cfg.TrackBlock.Seconds() / g.FrameDT)
+		if g.BlockFrames < 1 {
+			g.BlockFrames = 1
 		}
 	}
-	// The re-acquisition search window: the drift between blocks is
-	// small, but the initial hint may be a few kHz off.
-	searchBins := int(25e3 * float64(fftSize) / cap.SampleRate)
+	g.SearchBins = DriftSearchBins(g.FFTSize, sampleRate)
+	return g, true
+}
+
+// DriftSearchBins is the half-width, in bins, of the per-block spike
+// re-acquisition search: ±25 kHz — the drift between blocks is small,
+// but the initial hint may be a few kHz off — and never less than ±2.
+func DriftSearchBins(fftSize int, sampleRate float64) int {
+	searchBins := int(25e3 * float64(fftSize) / sampleRate)
 	if searchBins < 2 {
 		searchBins = 2
 	}
-	det.Band = make([]float64, s.Frames())
-	for blockStart := 0; blockStart < s.Frames(); blockStart += blockFrames {
-		blockEnd := blockStart + blockFrames
-		if blockEnd > s.Frames() {
-			blockEnd = s.Frames()
+	return searchBins
+}
+
+// ScanBlock runs one block of the §V-C band tracker: re-acquire the
+// spike bin by searching ±searchBins around center over the block's
+// mean spectrum (skipping the receiver's DC bin), then write each
+// frame's BandBins-wide band energy into out. mag holds the block's
+// STFT magnitude rows and out must have the same length. Returns the
+// re-acquired center for the next block. The batch detector and the
+// streaming detector both express their block loop through this
+// function, which is what keeps their Band traces byte-identical.
+func ScanBlock(mag [][]float64, out []float64, center, fftSize, searchBins, bandBins int) int {
+	// Mean spectrum of the block, searched near the last center.
+	best, bestVal := center, -1.0
+	for d := -searchBins; d <= searchBins; d++ {
+		b := (center + d + fftSize) % fftSize
+		if b == 0 {
+			continue // skip the receiver's DC spike
 		}
-		// Mean spectrum of the block, searched near the last center.
-		best, bestVal := center, -1.0
-		for d := -searchBins; d <= searchBins; d++ {
-			b := (center + d + fftSize) % fftSize
-			if b == 0 {
-				continue // skip the receiver's DC spike
-			}
-			var sum float64
-			for f := blockStart; f < blockEnd; f++ {
-				sum += s.Mag[f][b]
-			}
-			if sum > bestVal {
-				best, bestVal = b, sum
-			}
+		var sum float64
+		for _, row := range mag {
+			sum += row[b]
 		}
-		center = best
-		bins := make([]int, 0, cfg.BandBins)
-		for i := -(cfg.BandBins - 1) / 2; len(bins) < cfg.BandBins; i++ {
-			bins = append(bins, (center+i+fftSize)%fftSize)
-		}
-		for f := blockStart; f < blockEnd; f++ {
-			var sum float64
-			for _, b := range bins {
-				sum += s.Mag[f][b]
-			}
-			det.Band[f] = sum
+		if sum > bestVal {
+			best, bestVal = b, sum
 		}
 	}
+	center = best
+	bins := make([]int, 0, bandBins)
+	for i := -(bandBins - 1) / 2; len(bins) < bandBins; i++ {
+		bins = append(bins, (center+i+fftSize)%fftSize)
+	}
+	for f, row := range mag {
+		var sum float64
+		for _, b := range bins {
+			sum += row[b]
+		}
+		out[f] = sum
+	}
+	return center
+}
+
+// FinishDetection runs the global tail of the detector over a complete
+// band trace: optional per-block gain normalization (GapAware), global
+// normalization, the bimodal threshold, and the merge/duration interval
+// passes. It takes ownership of band (the returned Detection aliases
+// and mutates it). blockFrames is the per-block normalization width for
+// GapAware; pass the full trace length when tracking is off.
+func FinishDetection(band []float64, frameDT float64, blockFrames int, cfg DetectorConfig) *Detection {
+	det := &Detection{Band: band, FrameDT: frameDT}
 	if cfg.GapAware {
 		normalizeBlocks(det.Band, blockFrames)
 	}
@@ -227,6 +237,58 @@ func Detect(cap *sdr.Capture, cfg DetectorConfig) *Detection {
 		})
 	}
 	return det
+}
+
+// Detect runs the §V-C detector: STFT with non-overlapping ~5 ms
+// windows, band selection around the PMU spike, thresholding, a merge
+// pass, and the minimum-duration filter.
+func Detect(cap *sdr.Capture, cfg DetectorConfig) *Detection {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g, ok := PlanGeometry(cfg, cap.SampleRate)
+	if !ok {
+		// The STFT window rounds to zero samples (NextPowerOfTwo would
+		// panic): the capture cannot resolve the configured window, so
+		// there is nothing to detect.
+		return &Detection{}
+	}
+	if g.FFTSize > len(cap.IQ) {
+		return &Detection{}
+	}
+	// Non-overlapping windows: hop = fftSize.
+	s := dsp.NewEngine(cfg.Parallelism).STFT(cap.IQ, g.FFTSize, g.FFTSize, dsp.Hann(g.FFTSize), cap.SampleRate)
+
+	// Band selection: start around the expected spike (or the
+	// strongest non-DC peak), then re-acquire per block so the band
+	// follows the VRM clock's slow thermal drift.
+	var center int
+	if cfg.ExpectedF0 > 0 {
+		center = s.Bin(cfg.ExpectedF0 - cap.CenterFreqHz)
+	} else {
+		mean := make([]float64, g.FFTSize)
+		for _, row := range s.Mag {
+			for i, v := range row {
+				mean[i] += v
+			}
+		}
+		mean[0] = 0
+		_, center = dsp.Max(mean)
+	}
+	blockFrames := g.BlockFrames
+	if blockFrames == 0 {
+		blockFrames = s.Frames()
+	}
+	band := make([]float64, s.Frames())
+	for blockStart := 0; blockStart < s.Frames(); blockStart += blockFrames {
+		blockEnd := blockStart + blockFrames
+		if blockEnd > s.Frames() {
+			blockEnd = s.Frames()
+		}
+		center = ScanBlock(s.Mag[blockStart:blockEnd], band[blockStart:blockEnd],
+			center, g.FFTSize, g.SearchBins, cfg.BandBins)
+	}
+	return FinishDetection(band, g.FrameDT, blockFrames, cfg)
 }
 
 // normalizeBlocks rescales each blockFrames-wide stretch of the band

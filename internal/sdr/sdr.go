@@ -55,11 +55,14 @@ type Config struct {
 	// Zero disables AGC (unity digital gain).
 	AGCTargetRMS float64
 	// DCOffset adds the direct-conversion receiver's characteristic DC
-	// spike at the tuning frequency (fraction of full scale). RTL-SDR
+	// spike at the tuning frequency (fraction of full scale, either
+	// sign — real tuners settle on both sides of zero). RTL-SDR
 	// captures show it prominently at baseband zero.
 	DCOffset float64
 	// IQImbalanceFrac is the gain mismatch between the I and Q paths;
-	// it mirrors every signal faintly across zero frequency.
+	// it mirrors every signal faintly across zero frequency. Negative
+	// values model a Q path stronger than the I path and are just as
+	// physical as positive ones.
 	IQImbalanceFrac float64
 	// Parallelism is the worker count for the deterministic receiver
 	// stages (AGC scaling, DC offset, quantization): 0 picks the
@@ -97,11 +100,15 @@ func (c Config) Validate() error {
 	if c.AGCTargetRMS < 0 || c.AGCTargetRMS > 0.5 {
 		return fmt.Errorf("sdr: AGCTargetRMS %v out of range [0,0.5]", c.AGCTargetRMS)
 	}
-	if c.DCOffset < 0 || c.DCOffset > 0.2 {
-		return fmt.Errorf("sdr: DCOffset %v out of range [0,0.2]", c.DCOffset)
+	// Both impairments are signed: a DC spike can sit on either side of
+	// zero and the Q path can be the stronger one. Validation bounds the
+	// magnitude only; AcquireE applies them on != 0 (a > 0 guard here
+	// used to silently drop negative values).
+	if math.Abs(c.DCOffset) > 0.2 {
+		return fmt.Errorf("sdr: DCOffset %v out of range [-0.2,0.2]", c.DCOffset)
 	}
-	if c.IQImbalanceFrac < 0 || c.IQImbalanceFrac > 0.2 {
-		return fmt.Errorf("sdr: IQImbalanceFrac %v out of range [0,0.2]", c.IQImbalanceFrac)
+	if math.Abs(c.IQImbalanceFrac) > 0.2 {
+		return fmt.Errorf("sdr: IQImbalanceFrac %v out of range [-0.2,0.2]", c.IQImbalanceFrac)
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("sdr: negative Parallelism")
@@ -122,8 +129,14 @@ type Capture struct {
 	recycled atomic.Bool
 }
 
-// Duration returns the capture length in seconds.
+// Duration returns the capture length in seconds. A hand-built capture
+// with a zero (or negative) SampleRate has no meaningful duration and
+// reports 0 — the naive division used to return +Inf, or NaN when the
+// capture was also empty.
 func (c *Capture) Duration() float64 {
+	if c.SampleRate <= 0 {
+		return 0
+	}
 	return float64(len(c.IQ)) / c.SampleRate
 }
 
@@ -139,9 +152,38 @@ func (c *Capture) Recycle() {
 		return
 	}
 	sdrRecycles.Inc()
+	if recyclePoison.Load() {
+		// Poison before the buffer re-enters the pool: any slice still
+		// aliasing c.IQ now reads NaN instead of silently-plausible
+		// stale samples. Safe for pool reuse because GetIQ's contract
+		// already requires consumers to overwrite every element before
+		// reading any.
+		nan := complex(math.NaN(), math.NaN())
+		for i := range c.IQ {
+			c.IQ[i] = nan
+		}
+	}
 	dsp.PutIQ(c.IQ)
 	c.IQ = nil
 }
+
+// Recycled reports whether Recycle has already run. Long-lived consumers
+// that are handed a *Capture asynchronously (the streaming daemon's
+// per-stream workers) check it before touching IQ, turning a silent
+// use-after-recycle into an explicit failure.
+func (c *Capture) Recycled() bool { return c.recycled.Load() }
+
+// recyclePoison enables the debug-mode poison fill in Recycle.
+var recyclePoison atomic.Bool
+
+// SetRecyclePoison toggles debug-mode recycle poisoning: when enabled,
+// Recycle overwrites the sample buffer with NaN before returning it to
+// the pool, so any reader still aliasing a recycled capture's IQ slice
+// computes garbage loudly (NaN propagates through every DSP stage)
+// instead of reading stale-but-plausible samples. Intended for tests and
+// debug builds of the capture daemon; the fill costs one pass over the
+// buffer per recycle.
+func SetRecyclePoison(on bool) { recyclePoison.Store(on) }
 
 // Acquire runs the input field samples through the receiver chain and
 // returns the capture a host application would see.
@@ -169,7 +211,7 @@ func AcquireE(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Sour
 	out := dsp.GetIQ(len(iq))
 	for i, v := range iq {
 		out[i] = v * complex(gain, 0)
-		if cfg.IQImbalanceFrac > 0 {
+		if cfg.IQImbalanceFrac != 0 {
 			// Gain mismatch on the I path: scales the real part only,
 			// equivalent to leaking a conjugate image.
 			out[i] = complex(real(out[i])*(1+cfg.IQImbalanceFrac), imag(out[i]))
@@ -205,7 +247,7 @@ func AcquireE(iq []complex128, centerFreqHz float64, cfg Config, rng *xrand.Sour
 	eng.Chunks(len(out), func(lo, hi int) {
 		var clips int64
 		for i := lo; i < hi; i++ {
-			if cfg.DCOffset > 0 {
+			if cfg.DCOffset != 0 {
 				out[i] += complex(cfg.DCOffset, 0)
 			}
 			re, cr := quantize(real(out[i]), levels)

@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"pmuleak/internal/telemetry"
+)
+
+// Daemon-level telemetry. Per-stream series are registered dynamically
+// under stream.daemon.<name>.* when a stream attaches.
+var (
+	daemonDispatches = telemetry.NewCounter("stream.daemon.dispatches")
+	daemonActive     = telemetry.NewGauge("stream.daemon.active_streams")
+)
+
+// drainBurst bounds how many chunks one dispatch feeds a stream before
+// the worker re-queues it — the fairness knob that keeps one firehose
+// stream from starving the rest of the pool.
+const drainBurst = 4
+
+// Processor consumes one stream's chunks in order. CovertReceiver and
+// KeylogDetector implement it; the daemon guarantees Push is never
+// called concurrently for the same stream, so processors need no
+// locking of their own.
+type Processor interface {
+	Push(chunk []complex128)
+}
+
+// Daemon multiplexes many capture streams over a fixed worker pool —
+// the dispatch core of `emscope serve`. Each attached stream owns a
+// bounded Ring (backpressure: a producer outrunning the pool blocks on
+// its own ring, never grows it) and is processed by at most one worker
+// at a time: a stream is either idle, queued on the runnable list, or
+// running, and only the transition through the daemon's lock moves it
+// between states. Workers pull runnable streams FIFO, feed at most
+// drainBurst chunks to the stream's processor, and re-queue it while
+// its ring has more — so N streams share W workers fairly with
+// per-stream FIFO order preserved.
+//
+// Shutdown is a graceful drain: CloseAll (or per-stream Close) refuses
+// new input, workers finish everything still buffered, each stream's
+// Done channel closes when its ring is empty, and Drain returns once
+// every worker goroutine has exited — the goroutine-leak test pins
+// that nothing survives it.
+type Daemon struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	runnable []*DaemonStream
+	streams  []*DaemonStream
+	stopping bool
+	wg       sync.WaitGroup
+}
+
+// DaemonStream is one attached capture stream: its ring, its processor,
+// and its scheduling state (guarded by the daemon's lock).
+type DaemonStream struct {
+	name string
+	d    *Daemon
+	ring *Ring
+	proc Processor
+
+	queued  bool
+	running bool
+	done    chan struct{}
+
+	chunks  *telemetry.Counter
+	samples *telemetry.Counter
+	stalls  *telemetry.Counter
+}
+
+// NewDaemon starts a pool of the given worker count (minimum 1).
+func NewDaemon(workers int) *Daemon {
+	if workers < 1 {
+		workers = 1
+	}
+	d := &Daemon{}
+	d.cond = sync.NewCond(&d.mu)
+	d.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// Attach registers a stream: chunks pushed to the returned
+// DaemonStream flow through a ring of queueCap chunks into proc on the
+// worker pool. The name keys the stream's telemetry series
+// (stream.daemon.<name>.{chunks,samples,stalls}).
+func (d *Daemon) Attach(name string, proc Processor, queueCap int) *DaemonStream {
+	s := &DaemonStream{
+		name:    name,
+		d:       d,
+		ring:    NewRing(queueCap),
+		proc:    proc,
+		done:    make(chan struct{}),
+		chunks:  telemetry.NewCounter(fmt.Sprintf("stream.daemon.%s.chunks", name)),
+		samples: telemetry.NewCounter(fmt.Sprintf("stream.daemon.%s.samples", name)),
+		stalls:  telemetry.NewCounter(fmt.Sprintf("stream.daemon.%s.stalls", name)),
+	}
+	d.mu.Lock()
+	d.streams = append(d.streams, s)
+	d.mu.Unlock()
+	daemonActive.Add(1)
+	return s
+}
+
+// Push hands a chunk to the stream, blocking while its ring is full —
+// the backpressure contract. It reports false once the stream is
+// closed. Multiple producers may push to one stream; chunk order is
+// then their arrival order at the ring.
+func (s *DaemonStream) Push(chunk []complex128) bool {
+	before := s.ring.Stalls()
+	if !s.ring.Push(chunk) {
+		return false
+	}
+	if waited := s.ring.Stalls() - before; waited > 0 {
+		s.stalls.Add(waited)
+	}
+	s.d.enqueue(s)
+	return true
+}
+
+// Close marks the stream's end of input. Buffered chunks still drain;
+// Done closes once they have.
+func (s *DaemonStream) Close() {
+	s.ring.Close()
+	d := s.d
+	d.mu.Lock()
+	s.maybeFinishLocked()
+	d.mu.Unlock()
+}
+
+// Done returns a channel closed when the stream is closed and every
+// buffered chunk has been processed.
+func (s *DaemonStream) Done() <-chan struct{} { return s.done }
+
+// Name returns the stream's telemetry name.
+func (s *DaemonStream) Name() string { return s.name }
+
+// Pending returns the number of chunks buffered and not yet processed.
+func (s *DaemonStream) Pending() int { return s.ring.Len() }
+
+// Stalls returns how many pushes hit a full ring (backpressure events).
+func (s *DaemonStream) Stalls() uint64 { return s.ring.Stalls() }
+
+// enqueue moves an idle stream with pending chunks onto the runnable
+// list. Called after every push; a stream already queued or running is
+// left alone (the running worker re-checks the ring before parking it).
+func (d *Daemon) enqueue(s *DaemonStream) {
+	d.mu.Lock()
+	if !s.queued && !s.running && s.ring.Len() > 0 {
+		s.queued = true
+		d.runnable = append(d.runnable, s)
+		d.cond.Signal()
+	}
+	d.mu.Unlock()
+}
+
+// maybeFinishLocked closes the stream's Done channel when its input is
+// finished and nothing is queued or in flight. Caller holds d.mu.
+func (s *DaemonStream) maybeFinishLocked() {
+	if !s.running && !s.queued && s.ring.Drained() {
+		select {
+		case <-s.done:
+		default:
+			close(s.done)
+			daemonActive.Add(-1)
+		}
+	}
+}
+
+// worker is the dispatch loop: claim a runnable stream, feed it a
+// bounded burst, hand it back.
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		for len(d.runnable) == 0 && !d.stopping {
+			d.cond.Wait()
+		}
+		if len(d.runnable) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		s := d.runnable[0]
+		d.runnable = d.runnable[1:]
+		s.queued = false
+		s.running = true
+		d.mu.Unlock()
+
+		for i := 0; i < drainBurst; i++ {
+			chunk, ok := s.ring.TryPop()
+			if !ok {
+				break
+			}
+			s.proc.Push(chunk)
+			s.chunks.Inc()
+			s.samples.Add(uint64(len(chunk)))
+			daemonDispatches.Inc()
+		}
+
+		d.mu.Lock()
+		s.running = false
+		if s.ring.Len() > 0 {
+			s.queued = true
+			d.runnable = append(d.runnable, s)
+			d.cond.Signal()
+		} else {
+			s.maybeFinishLocked()
+		}
+		d.mu.Unlock()
+	}
+}
+
+// CloseAll closes every attached stream (idempotent per stream).
+func (d *Daemon) CloseAll() {
+	d.mu.Lock()
+	streams := append([]*DaemonStream(nil), d.streams...)
+	d.mu.Unlock()
+	for _, s := range streams {
+		s.Close()
+	}
+}
+
+// Drain gracefully shuts the daemon down: closes every stream, waits
+// for all buffered chunks to be processed, then stops the worker pool
+// and waits for every worker goroutine to exit. After Drain the
+// processors hold their final state and can be finalized.
+func (d *Daemon) Drain() {
+	d.CloseAll()
+	d.mu.Lock()
+	streams := append([]*DaemonStream(nil), d.streams...)
+	d.mu.Unlock()
+	for _, s := range streams {
+		<-s.done
+	}
+	d.mu.Lock()
+	d.stopping = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+}

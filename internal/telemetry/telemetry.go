@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -243,6 +244,33 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// FilterPrefix returns a snapshot containing only the series whose
+// names begin with prefix — how a renderer scopes one subsystem's
+// section of a dump (emscope serve prints stream.daemon.* this way).
+func (s Snapshot) FilterPrefix(prefix string) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if strings.HasPrefix(name, prefix) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, v := range s.Histograms {
+		if strings.HasPrefix(name, prefix) {
+			out.Histograms[name] = v
+		}
+	}
+	return out
 }
 
 // CounterNames returns the snapshot's counter keys in sorted order —

@@ -251,3 +251,31 @@ func TestSortedNameAccessors(t *testing.T) {
 		t.Errorf("HistogramNames() = %v", got)
 	}
 }
+
+func TestSnapshotFilterPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stream.daemon.a.chunks").Add(3)
+	r.Counter("stream.daemon.b.chunks").Add(5)
+	r.Counter("dsp.fft.calls").Add(7)
+	r.Gauge("stream.daemon.active_streams").Set(2)
+	r.Gauge("pool.captures").Set(4)
+	r.Histogram("stream.daemon.lat").Observe(time.Millisecond)
+	r.Histogram("stage.demod").Observe(time.Millisecond)
+
+	f := r.Snapshot().FilterPrefix("stream.daemon.")
+	if got := f.CounterNames(); len(got) != 2 || got[0] != "stream.daemon.a.chunks" || got[1] != "stream.daemon.b.chunks" {
+		t.Fatalf("filtered counters = %v", got)
+	}
+	if f.Counters["stream.daemon.b.chunks"] != 5 {
+		t.Fatalf("filtered counter value = %d, want 5", f.Counters["stream.daemon.b.chunks"])
+	}
+	if got := f.GaugeNames(); len(got) != 1 || got[0] != "stream.daemon.active_streams" {
+		t.Fatalf("filtered gauges = %v", got)
+	}
+	if got := f.HistogramNames(); len(got) != 1 || got[0] != "stream.daemon.lat" {
+		t.Fatalf("filtered histograms = %v", got)
+	}
+	if len(r.Snapshot().FilterPrefix("no.such.prefix").Counters) != 0 {
+		t.Fatal("unmatched prefix returned counters")
+	}
+}
