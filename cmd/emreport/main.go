@@ -1,0 +1,182 @@
+// Command emreport turns persisted paperbench run directories
+// (internal/artifacts) into a regression report: grouped per-experiment
+// wall-time mean±std tables, aggregate covert BER and keylog recall
+// from the runs' telemetry snapshots, and — with -baseline — ratio
+// gates in cmd/benchguard's baseline×(1±tolerance) discipline. The
+// wall-seconds history in BENCH_experiments.json (-history) is printed
+// alongside for trajectory context.
+//
+// Usage:
+//
+//	emreport runs/                       # report only
+//	emreport -baseline base.json runs/   # gate: exit 1 on regression
+//	emreport -history BENCH_experiments.json runA/ runB/
+//
+// Each positional argument is a run directory (holding manifest.json)
+// or a root whose immediate children are run directories. Exit codes:
+// 0 clean, 1 a gate tripped, 2 usage or unreadable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"pmuleak/internal/artifacts"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and renders the report. Split from main so tests can
+// drive the binary's exact code path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		basePath = fs.String("baseline", "", "baseline JSON (artifacts.Baseline); enables the regression gates")
+		histPath = fs.String("history", "", "BENCH_experiments.json to print the recorded wall-seconds trajectory from")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "emreport: no run directories given\nusage: emreport [-baseline base.json] [-history BENCH_experiments.json] RUNS...")
+		return 2
+	}
+
+	var runs []*artifacts.Run
+	for _, arg := range fs.Args() {
+		dirs, err := artifacts.DiscoverRuns(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "emreport: %v\n", err)
+			return 2
+		}
+		for _, d := range dirs {
+			r, err := artifacts.LoadRun(d)
+			if err != nil {
+				fmt.Fprintf(stderr, "emreport: %v\n", err)
+				return 2
+			}
+			runs = append(runs, r)
+		}
+	}
+
+	var base *artifacts.Baseline
+	if *basePath != "" {
+		b, err := artifacts.LoadBaseline(*basePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "emreport: -baseline: %v\n", err)
+			return 2
+		}
+		base = b
+	}
+
+	a := artifacts.Analyze(runs, base)
+	renderAnalysis(stdout, runs, a, base)
+
+	if *histPath != "" {
+		if err := renderHistory(stdout, *histPath); err != nil {
+			fmt.Fprintf(stderr, "emreport: -history: %v\n", err)
+			return 2
+		}
+	}
+
+	if len(a.Failures) > 0 {
+		fmt.Fprintf(stderr, "emreport: %d regression gate(s) tripped:\n", len(a.Failures))
+		for _, f := range a.Failures {
+			fmt.Fprintf(stderr, "  FAIL %s\n", f)
+		}
+		return 1
+	}
+	if base != nil {
+		fmt.Fprintln(stdout, "gates: all passed")
+	}
+	return 0
+}
+
+// renderAnalysis prints the grouped tables. Layout is deterministic:
+// experiments come back from Analyze sorted by name, runs in the order
+// they were discovered.
+func renderAnalysis(w io.Writer, runs []*artifacts.Run, a artifacts.Analysis, base *artifacts.Baseline) {
+	fmt.Fprintf(w, "runs analyzed: %d\n", a.Runs)
+	for _, r := range runs {
+		env := fmt.Sprintf("%s %s/%s cpus=%d", r.Manifest.GoVersion, r.Manifest.GOOS, r.Manifest.GOARCH, r.Manifest.NumCPU)
+		if r.Manifest.GitRevision != "" {
+			rev := r.Manifest.GitRevision
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			env += " rev=" + rev
+			if r.Manifest.GitModified {
+				env += "+dirty"
+			}
+		}
+		fmt.Fprintf(w, "  %s  %s  seed=%s wall=%.2fs\n",
+			r.Manifest.CreatedUTC, env, r.Manifest.Flags["seed"], r.Manifest.WallSeconds)
+	}
+
+	fmt.Fprintf(w, "\n%-16s %3s %12s %10s %12s %10s  %s\n",
+		"experiment", "n", "mean ms", "std ms", "cache hits", "misses", "gate")
+	for _, st := range a.PerExperiment {
+		gate := st.Status
+		if st.BaselineWallMS > 0 {
+			gate = fmt.Sprintf("%s (baseline %.1f ms)", st.Status, st.BaselineWallMS)
+		}
+		fmt.Fprintf(w, "%-16s %3d %12.1f %10.1f %12d %10d  %s\n",
+			st.Name, st.Wall.N, st.Wall.Mean, st.Wall.Std,
+			st.CacheHits, st.CacheMisses, gate)
+	}
+
+	fmt.Fprintf(w, "\ntotal wall      mean %.1f ms ± %.1f over %d run(s)\n",
+		a.TotalWall.Mean, a.TotalWall.Std, a.TotalWall.N)
+	if a.CovertBits > 0 {
+		fmt.Fprintf(w, "covert BER      %.3e over %d tx bits\n", a.CovertBER, a.CovertBits)
+	}
+	if a.KeylogKeys > 0 {
+		fmt.Fprintf(w, "keylog recall   %.3f over %d truth keys\n", a.KeylogRecall, a.KeylogKeys)
+	}
+	if base != nil {
+		fmt.Fprintf(w, "baseline        tolerance %.0f%%, total wall %.1f ms, covert BER %.3e (+%.1e slack), keylog recall %.3f\n",
+			base.Tolerance*100, base.TotalWallMS, base.CovertBER, base.BERSlack, base.KeylogRecall)
+	}
+}
+
+// benchHistory is the slice of BENCH_experiments.json emreport cares
+// about: the labeled wall-seconds trajectory.
+type benchHistory struct {
+	Machine     string             `json:"machine"`
+	Date        string             `json:"date"`
+	Workload    string             `json:"workload"`
+	WallSeconds map[string]float64 `json:"wall_seconds"`
+}
+
+// renderHistory prints the recorded wall-seconds series, sorted by
+// label for a stable layout.
+func renderHistory(w io.Writer, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var h benchHistory
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	fmt.Fprintf(w, "\nhistory (%s, %s):\n", path, h.Date)
+	if h.Workload != "" {
+		fmt.Fprintf(w, "  workload: %s\n", h.Workload)
+	}
+	labels := make([]string, 0, len(h.WallSeconds))
+	for l := range h.WallSeconds {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(w, "  %-32s %8.3f s\n", l, h.WallSeconds[l])
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pmuleak/internal/artifacts"
+	"pmuleak/internal/telemetry"
+)
+
+// writeRun persists one synthetic run directory with known wall times
+// and scoring counters.
+func writeRun(t *testing.T, root string, now time.Time, wallTable2, wallFleet float64) string {
+	t.Helper()
+	r := telemetry.NewRegistry()
+	r.Counter("core.covert.tx_bits").Add(1000)
+	r.Counter("core.covert.bit_errors").Add(2)
+	r.Counter("core.keylog.truth_keys").Add(100)
+	r.Counter("core.keylog.matched_keys").Add(95)
+	m := artifacts.NewManifest(now)
+	m.Flags["seed"] = "2020"
+	m.WallSeconds = (wallTable2 + wallFleet) / 1000
+	rows := []artifacts.Row{
+		{Experiment: "table2", WallMS: wallTable2, CacheHits: 4, CacheMisses: 1},
+		{Experiment: "fleet", WallMS: wallFleet},
+	}
+	dir, err := artifacts.WriteRun(root, now, m, rows, r.Snapshot(), []byte("report\n"))
+	if err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+	return dir
+}
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReportOnly: no baseline, well-formed runs, exit 0 with the
+// grouped table and aggregates on stdout.
+func TestReportOnly(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root, time.Date(2026, 8, 9, 10, 0, 0, 0, time.UTC), 1000, 200)
+	writeRun(t, root, time.Date(2026, 8, 9, 11, 0, 0, 0, time.UTC), 1200, 240)
+
+	var out, errs bytes.Buffer
+	if code := run([]string{root}, &out, &errs); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"runs analyzed: 2",
+		"table2",        // grouped row
+		"1100.0",        // table2 mean
+		"covert BER",    // aggregate
+		"keylog recall", // aggregate
+		"0.950",         // 190/200 recall
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "gates:") {
+		t.Fatalf("report-only run printed a gate verdict:\n%s", s)
+	}
+}
+
+// TestGatePassAndFail: a generous baseline exits 0 and prints the
+// verdict; an impossible one exits 1 and lists the tripped gates on
+// stderr.
+func TestGatePassAndFail(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root, time.Date(2026, 8, 9, 10, 0, 0, 0, time.UTC), 1000, 200)
+
+	pass := writeBaseline(t, `{"tolerance":0.5,"total_wall_ms":1100,
+		"experiments":[{"name":"table2","wall_ms":900}],
+		"covert_ber":0.002,"ber_slack":1e-4,"keylog_recall":0.95}`)
+	var out, errs bytes.Buffer
+	if code := run([]string{"-baseline", pass, root}, &out, &errs); code != 0 {
+		t.Fatalf("passing baseline exited %d, stderr: %s", code, errs.String())
+	}
+	if !strings.Contains(out.String(), "gates: all passed") {
+		t.Fatalf("pass verdict missing:\n%s", out.String())
+	}
+
+	fail := writeBaseline(t, `{"tolerance":0,"total_wall_ms":0.001}`)
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-baseline", fail, root}, &out, &errs); code != 1 {
+		t.Fatalf("impossible baseline exited %d, want 1", code)
+	}
+	if !strings.Contains(errs.String(), "FAIL total wall") {
+		t.Fatalf("tripped gate not reported on stderr: %q", errs.String())
+	}
+}
+
+// TestHistory renders the BENCH_experiments.json trajectory.
+func TestHistory(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root, time.Now().UTC(), 100, 50)
+	hist := filepath.Join(t.TempDir(), "hist.json")
+	if err := os.WriteFile(hist, []byte(`{"date":"2026-08-06","workload":"quick",
+		"wall_seconds":{"after_defaults":20.407,"before_pr2_serial":23.235}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errs bytes.Buffer
+	if code := run([]string{"-history", hist, root}, &out, &errs); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "after_defaults") || !strings.Contains(s, "23.235") {
+		t.Fatalf("history missing:\n%s", s)
+	}
+	// Sorted labels: after_defaults before before_pr2_serial.
+	if strings.Index(s, "after_defaults") > strings.Index(s, "before_pr2_serial") {
+		t.Fatalf("history labels not sorted:\n%s", s)
+	}
+}
+
+// TestUsageAndIOErrors: bad invocations exit 2, never 1 (so CI can
+// tell "regression" from "broken invocation").
+func TestUsageAndIOErrors(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run(nil, &out, &errs); code != 2 {
+		t.Fatalf("no args exited %d, want 2", code)
+	}
+	if code := run([]string{t.TempDir()}, &out, &errs); code != 2 {
+		t.Fatalf("empty dir exited %d, want 2", code)
+	}
+	root := t.TempDir()
+	writeRun(t, root, time.Now().UTC(), 100, 50)
+	if code := run([]string{"-baseline", "/nonexistent.json", root}, &out, &errs); code != 2 {
+		t.Fatalf("missing baseline exited %d, want 2", code)
+	}
+	if code := run([]string{"-history", "/nonexistent.json", root}, &out, &errs); code != 2 {
+		t.Fatalf("missing history exited %d, want 2", code)
+	}
+}
+
+// TestCheckedInBaselines: the CI baselines parse, the regression one is
+// impossible to pass (total wall gate at a microsecond), and the quick
+// one carries sane gates.
+func TestCheckedInBaselines(t *testing.T) {
+	quick, err := artifacts.LoadBaseline(filepath.Join("testdata", "baseline_quick.json"))
+	if err != nil {
+		t.Fatalf("baseline_quick.json: %v", err)
+	}
+	if quick.Tolerance <= 0 || quick.TotalWallMS <= 0 || quick.BERSlack <= 0 {
+		t.Fatalf("quick baseline fields not sane: %+v", quick)
+	}
+	reg, err := artifacts.LoadBaseline(filepath.Join("testdata", "baseline_regression.json"))
+	if err != nil {
+		t.Fatalf("baseline_regression.json: %v", err)
+	}
+	if reg.TotalWallMS <= 0 || reg.TotalWallMS > 0.01 {
+		t.Fatalf("regression baseline must gate total wall at an impossible value: %+v", reg)
+	}
+}

@@ -47,6 +47,8 @@ func main() {
 		queue   = flag.Int("queue", 8, "serve: per-stream queue depth in chunks (backpressure bound)")
 		kind    = flag.String("kind", "mixed", "serve: stream mix — covert | keys | mixed")
 		verify  = flag.Bool("verify", false, "serve: recompute each stream through the batch pipeline and require byte-identical output")
+		adminA  = flag.String("admin", "", "serve: expose the live introspection plane (/metrics, /streams, /healthz, /debug/pprof) on this address, e.g. :9110 or 127.0.0.1:0")
+		linger  = flag.Duration("linger", 0, "serve: keep the process (and -admin listener) alive this long after the final report")
 	)
 	flag.Parse()
 
@@ -103,6 +105,8 @@ func main() {
 			queue:   *queue,
 			kind:    *kind,
 			verify:  *verify,
+			admin:   *adminA,
+			linger:  *linger,
 		}))
 	default:
 		fmt.Fprintf(os.Stderr, "emscope: unknown mode %q\n", *mode)

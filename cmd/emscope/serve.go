@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"os"
 	"reflect"
 	"sync"
+	"time"
 
+	"pmuleak/internal/admin"
 	"pmuleak/internal/core"
 	"pmuleak/internal/covert"
 	"pmuleak/internal/keylog"
@@ -23,6 +27,15 @@ type serveOptions struct {
 	queue   int
 	kind    string // covert | keys | mixed
 	verify  bool
+	// admin is the introspection listener address ("" = off). The
+	// listener serves /metrics, /streams, /healthz, and /debug/pprof
+	// (internal/admin) for the life of the process; its actual address is
+	// printed on stderr so ":0" works in scripts.
+	admin string
+	// linger keeps the process (and the admin listener) alive for this
+	// long after the final report, so external probes can scrape a
+	// finished daemon.
+	linger time.Duration
 }
 
 // serveStream is one attached capture stream: its prepared ground
@@ -53,6 +66,25 @@ func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions)
 	}
 	fmt.Printf("%s — emscoped: %d streams (%s) over %d workers, chunk %d samples, queue %d chunks\n",
 		prof, o.streams, o.kind, o.workers, o.chunk, o.queue)
+
+	// The admin plane comes up before any stream is attached, so a
+	// scraper watching /streams sees the daemon's whole life. Everything
+	// it prints goes to stderr: stdout carries only the report.
+	if o.admin != "" {
+		l, err := net.Listen("tcp", o.admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emscope: -admin: %v\n", err)
+			return 2
+		}
+		srv := admin.New()
+		fmt.Fprintf(os.Stderr, "emscoped: admin plane listening on http://%s\n", l.Addr())
+		go srv.Serve(l)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
 
 	streams := make([]*serveStream, o.streams)
 	for i := range streams {
@@ -106,6 +138,14 @@ func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions)
 	wg.Wait()
 	d.Drain()
 
+	// Graceful-drain snapshot: the full final telemetry state as
+	// deterministic JSON on stderr — the batch-vs-streamed identity
+	// checks compare stdout, so the dump must not land there.
+	fmt.Fprintln(os.Stderr, "emscoped: final telemetry snapshot after drain:")
+	if err := telemetry.Capture().WriteJSON(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "emscope: telemetry dump: %v\n", err)
+	}
+
 	exit := 0
 	for _, s := range streams {
 		raw := 16 * len(s.capture().IQ)
@@ -146,6 +186,10 @@ func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions)
 		} else {
 			fmt.Println("verify: FAILED")
 		}
+	}
+	if o.linger > 0 {
+		fmt.Fprintf(os.Stderr, "emscoped: lingering %v (admin plane stays up)\n", o.linger)
+		time.Sleep(o.linger)
 	}
 	return exit
 }

@@ -72,6 +72,16 @@ type benchConfig struct {
 	Metrics   string // write a telemetry JSON snapshot here at exit
 	PprofCPU  string // write a runtime/pprof CPU profile here
 	PprofHeap string // write a runtime/pprof heap profile here
+	// Artifacts names a root directory to persist this run under: a
+	// timestamped subdirectory holding the per-experiment CSV, the
+	// telemetry snapshot, the stdout report, and an environment
+	// manifest (internal/artifacts). Stdout stays byte-identical with
+	// artifacts on or off.
+	Artifacts string
+	// Validate names a manifest.json (or run directory) to replay: the
+	// recorded flags are re-executed and the fresh stdout digest must
+	// match the manifest's. Nonzero exit on divergence.
+	Validate string
 }
 
 // run parses args and executes the harness. Split from main so tests
@@ -95,26 +105,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metrics    = fs.String("metrics", "", "write a telemetry JSON snapshot to this file at exit")
 		pprofCPU   = fs.String("pprof-cpu", "", "write a CPU profile (runtime/pprof) to this file")
 		pprofHeap  = fs.String("pprof-heap", "", "write a heap profile (runtime/pprof) to this file")
+		arts       = fs.String("artifacts", "", "persist this run as a timestamped directory (CSV + telemetry snapshot + manifest + report) under this root; stdout is byte-identical either way")
+		validate   = fs.String("validate", "", "replay the flags recorded in this manifest.json (or run dir) and verify the stdout digest reproduces; all other flags are ignored")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	cfg := benchConfig{
-		Scale:      experiments.Full,
-		Only:       *only,
-		Seed:       *seed,
-		Show:       *show,
-		Parallel:   *parallel,
+		Scale:         experiments.Full,
+		Only:          *only,
+		Seed:          *seed,
+		Show:          *show,
+		Parallel:      *parallel,
 		Jobs:          *jobs,
 		TraceCache:    *tracecache,
 		TraceCacheCap: *tccap,
 		Cells:         *cells,
 		Shards:        *shards,
-		NoFused:    *nofused,
-		Stats:      *stats,
-		Metrics:    *metrics,
-		PprofCPU:   *pprofCPU,
-		PprofHeap:  *pprofHeap,
+		NoFused:       *nofused,
+		Stats:         *stats,
+		Metrics:       *metrics,
+		PprofCPU:      *pprofCPU,
+		PprofHeap:     *pprofHeap,
+		Artifacts:     *arts,
+		Validate:      *validate,
 	}
 	if *quick {
 		cfg.Scale = experiments.Quick
@@ -127,6 +141,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 // or to the files named by cfg, so stdout stays byte-stable across
 // -jobs, -tracecache, -stats, -metrics, and -pprof-* settings.
 func execute(cfg benchConfig, stdout, stderr io.Writer) int {
+	if cfg.Validate != "" {
+		return runValidate(cfg.Validate, stdout, stderr)
+	}
+
 	dsp.SetDefaultParallelism(cfg.Parallel)
 	dsp.SetFusedKernels(!cfg.NoFused)
 	sweep.SetDefaultJobs(cfg.Jobs)
@@ -166,6 +184,16 @@ func execute(cfg benchConfig, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	// With -artifacts, the report is teed through a digest and a copy on
+	// the way to stdout — the bytes the user sees are the bytes persisted,
+	// so stdout stays identical with artifacts on or off.
+	out := stdout
+	var collect *artifactRun
+	if cfg.Artifacts != "" {
+		collect = newArtifactRun()
+		out = collect.tee(stdout)
+	}
+
 	rc := runContext{Seed: cfg.Seed, Scale: cfg.Scale, Show: cfg.Show,
 		Cells: cfg.Cells, Shards: cfg.Shards}
 	start := time.Now()
@@ -175,11 +203,15 @@ func execute(cfg benchConfig, stdout, stderr io.Writer) int {
 		}
 		expStart := time.Now()
 		hits0, misses0 := core.TraceCacheStats()
-		s.Run(stdout, rc)
+		s.Run(out, rc)
+		wall := time.Since(expStart)
+		hits, misses := core.TraceCacheStats()
+		if collect != nil {
+			collect.addRow(s.Name, wall, hits-hits0, misses-misses0)
+		}
 		if cfg.Stats {
-			hits, misses := core.TraceCacheStats()
 			fmt.Fprintf(stderr, "# %-15s %8v  trace-cache +%d hits +%d misses\n",
-				s.Name, time.Since(expStart).Round(time.Millisecond),
+				s.Name, wall.Round(time.Millisecond),
 				hits-hits0, misses-misses0)
 		}
 	}
@@ -197,6 +229,14 @@ func execute(cfg benchConfig, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "paperbench: -metrics: %v\n", err)
 			return 1
 		}
+	}
+	if collect != nil {
+		dir, err := collect.write(cfg, snap)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: -artifacts: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "# run artifacts written to %s\n", dir)
 	}
 	if cfg.PprofHeap != "" {
 		if err := writeHeapProfile(cfg.PprofHeap); err != nil {

@@ -27,6 +27,12 @@ var deterministicCounters = []string{
 	"campaign.cells",
 	"campaign.runs",
 	"campaign.shards",
+	"core.covert.bit_errors",
+	"core.covert.runs",
+	"core.covert.tx_bits",
+	"core.keylog.matched_keys",
+	"core.keylog.runs",
+	"core.keylog.truth_keys",
 	"dsp.engine.stft.frames",
 	"dsp.engine.welch.segments",
 	"dsp.iqpool.gets",
@@ -139,6 +145,10 @@ func checkSnapshotSeries(t *testing.T, jobs int, snap telemetry.Snapshot) {
 	t.Helper()
 	positiveCounters := []string{
 		"campaign.cells",
+		"core.covert.runs",
+		"core.covert.tx_bits",
+		"core.keylog.runs",
+		"core.keylog.truth_keys",
 		"core.tracecache.hits",
 		"core.tracecache.misses",
 		"dsp.fftplan.hits",

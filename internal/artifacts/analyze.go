@@ -1,0 +1,209 @@
+package artifacts
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Baseline is the checked-in regression expectation set, the same
+// ratio-gate discipline cmd/benchguard applies to benchmark pairs:
+// every gate compares against baseline×(1±Tolerance), never an
+// absolute wall-clock threshold tuned to one machine.
+type Baseline struct {
+	// Tolerance is the allowed relative regression beyond each recorded
+	// baseline (0.10 = fail on >10% worse). Wall gates fail above
+	// baseline×(1+Tolerance); the keylog recall gate fails below
+	// baseline×(1-Tolerance) — benchguard's baseline×0.9 idiom verbatim.
+	Tolerance float64 `json:"tolerance"`
+	// TotalWallMS is the recorded harness wall time. 0 disables the gate.
+	TotalWallMS float64 `json:"total_wall_ms"`
+	// Experiments optionally gate individual experiments' wall time.
+	Experiments []ExperimentGate `json:"experiments,omitempty"`
+	// CovertBER is the recorded aggregate covert bit-error rate
+	// (core.covert.bit_errors / core.covert.tx_bits). The gate fails
+	// when the measured BER exceeds CovertBER×(1+Tolerance)+BERSlack.
+	CovertBER float64 `json:"covert_ber"`
+	// BERSlack is the absolute slack on the BER gate, so a zero
+	// baseline does not demand exactly zero forever.
+	BERSlack float64 `json:"ber_slack"`
+	// KeylogRecall is the recorded aggregate keystroke recall
+	// (core.keylog.matched_keys / core.keylog.truth_keys). 0 disables
+	// the gate; otherwise it fails below KeylogRecall×(1-Tolerance).
+	KeylogRecall float64 `json:"keylog_recall,omitempty"`
+}
+
+// ExperimentGate is one experiment's recorded wall-time baseline.
+type ExperimentGate struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// LoadBaseline reads a baseline JSON file.
+func LoadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// MeanStd is a mean ± sample standard deviation over n values.
+type MeanStd struct {
+	N    int
+	Mean float64
+	Std  float64
+}
+
+func meanStd(vals []float64) MeanStd {
+	s := MeanStd{N: len(vals)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, v := range vals {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// ExpStat is one experiment's aggregate across the analyzed runs.
+type ExpStat struct {
+	Name        string
+	Wall        MeanStd
+	CacheHits   uint64 // summed across runs
+	CacheMisses uint64
+	// BaselineWallMS is the matching gate's recorded value (0 = ungated);
+	// Status is "ok", "FAIL", or "-" when ungated.
+	BaselineWallMS float64
+	Status         string
+}
+
+// Analysis is the grouped view emreport renders, plus the gate
+// verdicts.
+type Analysis struct {
+	Runs          int
+	PerExperiment []ExpStat
+	TotalWall     MeanStd
+	// CovertBER and KeylogRecall aggregate the core scoring counters
+	// over all runs (they are deterministic per configuration, so
+	// cross-run aggregation is a consistency check, not averaging noise).
+	CovertBER    float64
+	CovertBits   uint64
+	KeylogRecall float64
+	KeylogKeys   uint64
+	// Failures lists every tripped gate; empty means the analysis
+	// passed.
+	Failures []string
+}
+
+// Analyze groups the runs' rows per experiment, aggregates the scoring
+// counters, and applies the baseline gates (nil baseline = report
+// only).
+func Analyze(runs []*Run, base *Baseline) Analysis {
+	a := Analysis{Runs: len(runs)}
+	wallByExp := map[string][]float64{}
+	hitsByExp := map[string]uint64{}
+	missByExp := map[string]uint64{}
+	var totals []float64
+	var bits, errs, truth, matched uint64
+	for _, r := range runs {
+		var total float64
+		for _, row := range r.Rows {
+			wallByExp[row.Experiment] = append(wallByExp[row.Experiment], row.WallMS)
+			hitsByExp[row.Experiment] += row.CacheHits
+			missByExp[row.Experiment] += row.CacheMisses
+			total += row.WallMS
+		}
+		if r.Manifest.WallSeconds > 0 {
+			total = r.Manifest.WallSeconds * 1000
+		}
+		totals = append(totals, total)
+		bits += r.Snapshot.Counters["core.covert.tx_bits"]
+		errs += r.Snapshot.Counters["core.covert.bit_errors"]
+		truth += r.Snapshot.Counters["core.keylog.truth_keys"]
+		matched += r.Snapshot.Counters["core.keylog.matched_keys"]
+	}
+	a.TotalWall = meanStd(totals)
+	a.CovertBits = bits
+	if bits > 0 {
+		a.CovertBER = float64(errs) / float64(bits)
+	}
+	a.KeylogKeys = truth
+	if truth > 0 {
+		a.KeylogRecall = float64(matched) / float64(truth)
+	}
+
+	gateByName := map[string]float64{}
+	if base != nil {
+		for _, g := range base.Experiments {
+			gateByName[g.Name] = g.WallMS
+		}
+	}
+	names := make([]string, 0, len(wallByExp))
+	for name := range wallByExp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := ExpStat{
+			Name:        name,
+			Wall:        meanStd(wallByExp[name]),
+			CacheHits:   hitsByExp[name],
+			CacheMisses: missByExp[name],
+			Status:      "-",
+		}
+		if bw, ok := gateByName[name]; ok && bw > 0 {
+			st.BaselineWallMS = bw
+			st.Status = "ok"
+			if st.Wall.Mean > bw*(1+base.Tolerance) {
+				st.Status = "FAIL"
+				a.Failures = append(a.Failures,
+					fmt.Sprintf("experiment %s: wall %.1f ms > baseline %.1f ms × %.2f",
+						name, st.Wall.Mean, bw, 1+base.Tolerance))
+			}
+		}
+		a.PerExperiment = append(a.PerExperiment, st)
+	}
+
+	if base == nil {
+		return a
+	}
+	if base.TotalWallMS > 0 && a.TotalWall.Mean > base.TotalWallMS*(1+base.Tolerance) {
+		a.Failures = append(a.Failures,
+			fmt.Sprintf("total wall %.1f ms > baseline %.1f ms × %.2f",
+				a.TotalWall.Mean, base.TotalWallMS, 1+base.Tolerance))
+	}
+	if bits > 0 {
+		gate := base.CovertBER*(1+base.Tolerance) + base.BERSlack
+		if a.CovertBER > gate {
+			a.Failures = append(a.Failures,
+				fmt.Sprintf("covert BER %.3e > gate %.3e (baseline %.3e × %.2f + slack %.1e)",
+					a.CovertBER, gate, base.CovertBER, 1+base.Tolerance, base.BERSlack))
+		}
+	}
+	if base.KeylogRecall > 0 && truth > 0 {
+		gate := base.KeylogRecall * (1 - base.Tolerance)
+		if a.KeylogRecall < gate {
+			a.Failures = append(a.Failures,
+				fmt.Sprintf("keylog recall %.3f < gate %.3f (baseline %.3f × %.2f)",
+					a.KeylogRecall, gate, base.KeylogRecall, 1-base.Tolerance))
+		}
+	}
+	return a
+}

@@ -1,0 +1,189 @@
+package artifacts
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pmuleak/internal/telemetry"
+)
+
+// fakeSnapshot builds a snapshot carrying the scoring counters the
+// analyzer reads.
+func fakeSnapshot(bits, errs, truth, matched uint64) telemetry.Snapshot {
+	r := telemetry.NewRegistry()
+	r.Counter("core.covert.tx_bits").Add(bits)
+	r.Counter("core.covert.bit_errors").Add(errs)
+	r.Counter("core.keylog.truth_keys").Add(truth)
+	r.Counter("core.keylog.matched_keys").Add(matched)
+	r.Histogram("stage.demod").Observe(3 * time.Millisecond)
+	return r.Snapshot()
+}
+
+func writeFakeRun(t *testing.T, root string, now time.Time, wall1, wall2 float64) string {
+	t.Helper()
+	m := NewManifest(now)
+	m.Flags["seed"] = "2020"
+	m.WallSeconds = (wall1 + wall2) / 1000
+	m.StdoutSHA256 = strings.Repeat("ab", 32)
+	rows := []Row{
+		{Experiment: "table2", WallMS: wall1, CacheHits: 10, CacheMisses: 2},
+		{Experiment: "fleet", WallMS: wall2, CacheHits: 0, CacheMisses: 1},
+	}
+	dir, err := WriteRun(root, now, m, rows, fakeSnapshot(1000, 3, 200, 180), []byte("report body\n"))
+	if err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+	return dir
+}
+
+// TestWriteLoadRoundTrip pins the artifact schema: what WriteRun
+// persists, LoadRun reads back unchanged.
+func TestWriteLoadRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	now := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	dir := writeFakeRun(t, root, now, 1500, 300)
+
+	if filepath.Dir(dir) != root {
+		t.Fatalf("run dir %s not under root %s", dir, root)
+	}
+	for _, f := range []string{ManifestFile, CSVFile, MetricsFile, ReportFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing artifact %s: %v", f, err)
+		}
+	}
+
+	run, err := LoadRun(dir)
+	if err != nil {
+		t.Fatalf("LoadRun: %v", err)
+	}
+	if run.Manifest.SchemaVersion != SchemaVersion || run.Manifest.GoVersion == "" ||
+		run.Manifest.NumCPU < 1 || run.Manifest.Flags["seed"] != "2020" {
+		t.Fatalf("manifest round trip lost fields: %+v", run.Manifest)
+	}
+	if run.Manifest.CreatedUTC != now.Format(time.RFC3339Nano) {
+		t.Fatalf("created = %s, want %s", run.Manifest.CreatedUTC, now.Format(time.RFC3339Nano))
+	}
+	if len(run.Rows) != 2 || run.Rows[0].Experiment != "table2" ||
+		run.Rows[0].WallMS != 1500 || run.Rows[0].CacheHits != 10 {
+		t.Fatalf("rows round trip: %+v", run.Rows)
+	}
+	if run.Snapshot.Counters["core.covert.tx_bits"] != 1000 {
+		t.Fatalf("snapshot round trip: %v", run.Snapshot.Counters)
+	}
+	if run.Snapshot.Histograms["stage.demod"].Count != 1 {
+		t.Fatalf("snapshot histograms lost: %v", run.Snapshot.Histograms)
+	}
+
+	report, err := os.ReadFile(filepath.Join(dir, ReportFile))
+	if err != nil || string(report) != "report body\n" {
+		t.Fatalf("report round trip: %q, %v", report, err)
+	}
+}
+
+// TestWriteRunCollision: two runs with the same timestamp land in
+// distinct directories.
+func TestWriteRunCollision(t *testing.T) {
+	root := t.TempDir()
+	now := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	a := writeFakeRun(t, root, now, 100, 100)
+	b := writeFakeRun(t, root, now, 100, 100)
+	if a == b {
+		t.Fatalf("same directory handed out twice: %s", a)
+	}
+	dirs, err := DiscoverRuns(root)
+	if err != nil || len(dirs) != 2 {
+		t.Fatalf("DiscoverRuns = %v, %v; want both runs", dirs, err)
+	}
+}
+
+// TestDiscoverRuns resolves both a run dir itself and a root of runs,
+// and rejects a directory holding neither.
+func TestDiscoverRuns(t *testing.T) {
+	root := t.TempDir()
+	dir := writeFakeRun(t, root, time.Now(), 10, 20)
+
+	direct, err := DiscoverRuns(dir)
+	if err != nil || len(direct) != 1 || direct[0] != dir {
+		t.Fatalf("direct discovery = %v, %v", direct, err)
+	}
+	viaRoot, err := DiscoverRuns(root)
+	if err != nil || len(viaRoot) != 1 || viaRoot[0] != dir {
+		t.Fatalf("root discovery = %v, %v", viaRoot, err)
+	}
+	if _, err := DiscoverRuns(t.TempDir()); err == nil {
+		t.Fatal("discovery in an empty dir did not fail")
+	}
+}
+
+// TestAnalyzeGates drives every gate through its pass and fail sides.
+func TestAnalyzeGates(t *testing.T) {
+	root := t.TempDir()
+	writeFakeRun(t, root, time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC), 1500, 300)
+	writeFakeRun(t, root, time.Date(2026, 8, 9, 12, 5, 0, 0, time.UTC), 1700, 340)
+	dirs, err := DiscoverRuns(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []*Run
+	for _, d := range dirs {
+		r, err := LoadRun(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+
+	pass := &Baseline{
+		Tolerance:    0.5,
+		TotalWallMS:  1900,
+		Experiments:  []ExperimentGate{{Name: "table2", WallMS: 1550}},
+		CovertBER:    0.003, // measured aggregate is 6/2000 = 0.003
+		BERSlack:     1e-4,
+		KeylogRecall: 0.9, // measured 360/400 = 0.9, gate 0.45
+	}
+	a := Analyze(runs, pass)
+	if len(a.Failures) != 0 {
+		t.Fatalf("passing baseline tripped gates: %v", a.Failures)
+	}
+	if a.Runs != 2 || len(a.PerExperiment) != 2 {
+		t.Fatalf("analysis shape: %+v", a)
+	}
+	// Rows group by experiment name, sorted.
+	if a.PerExperiment[0].Name != "fleet" || a.PerExperiment[1].Name != "table2" {
+		t.Fatalf("experiment order: %+v", a.PerExperiment)
+	}
+	if got := a.PerExperiment[1].Wall; got.N != 2 || got.Mean != 1600 {
+		t.Fatalf("table2 wall stats = %+v, want mean 1600 over 2", got)
+	}
+	if a.PerExperiment[1].Status != "ok" || a.PerExperiment[0].Status != "-" {
+		t.Fatalf("statuses: %+v", a.PerExperiment)
+	}
+	if a.CovertBER != 0.003 || a.KeylogRecall != 0.9 {
+		t.Fatalf("aggregates: BER %v recall %v", a.CovertBER, a.KeylogRecall)
+	}
+
+	fail := &Baseline{
+		Tolerance:    0.1,
+		TotalWallMS:  500,                                            // way under the ~1920 measured
+		Experiments:  []ExperimentGate{{Name: "fleet", WallMS: 100}}, // measured mean 320
+		CovertBER:    0.0001,                                         // gate ~1.1e-4 < measured 3e-3
+		KeylogRecall: 1.01,                                           // gate 0.909 > measured 0.9
+	}
+	a = Analyze(runs, fail)
+	if len(a.Failures) != 4 {
+		t.Fatalf("failing baseline tripped %d gates, want 4: %v", len(a.Failures), a.Failures)
+	}
+	for _, st := range a.PerExperiment {
+		if st.Name == "fleet" && st.Status != "FAIL" {
+			t.Fatalf("fleet gate not marked FAIL: %+v", st)
+		}
+	}
+
+	// No baseline = report only.
+	if a := Analyze(runs, nil); len(a.Failures) != 0 {
+		t.Fatalf("nil baseline produced failures: %v", a.Failures)
+	}
+}

@@ -43,6 +43,22 @@ var (
 	stageDetect   = telemetry.NewHistogram("stage.detect")
 )
 
+// Aggregate scoring counters, recorded once per scored run in finish().
+// These are pure functions of simulation outputs, so — like the other
+// simulation-derived series — their totals are identical at every -jobs
+// / cache / shard setting. bit_errors/tx_bits is the harness-wide
+// covert BER and matched_keys/truth_keys the keystroke recall; the
+// emreport regression gate reads both from persisted -metrics/artifact
+// snapshots.
+var (
+	covertRuns    = telemetry.NewCounter("core.covert.runs")
+	covertTxBits  = telemetry.NewCounter("core.covert.tx_bits")
+	covertBitErrs = telemetry.NewCounter("core.covert.bit_errors")
+	keylogRuns    = telemetry.NewCounter("core.keylog.runs")
+	keylogTruth   = telemetry.NewCounter("core.keylog.truth_keys")
+	keylogMatched = telemetry.NewCounter("core.keylog.matched_keys")
+)
+
 // faultSeedOffset derives the fault injector's stream from the testbed
 // seed, distinct from the channel (104729), receiver (500), and typist
 // (13) offsets so enabling faults never perturbs those streams.
@@ -304,8 +320,12 @@ func (p *PreparedCovert) Finish(demod *covert.Demod) *CovertResult { return p.fi
 
 // finish scores a demod against the prepared run's ground truth.
 func (p *PreparedCovert) finish(demod *covert.Demod) *CovertResult {
+	m := covert.Measure(p.Run, demod, p.TXCfg, p.Payload)
+	covertRuns.Inc()
+	covertTxBits.Add(uint64(m.TxLen))
+	covertBitErrs.Add(uint64(m.Substitutions))
 	return &CovertResult{
-		Measurement: covert.Measure(p.Run, demod, p.TXCfg, p.Payload),
+		Measurement: m,
 		Run:         p.Run,
 		Demod:       demod,
 		Payload:     p.Payload,
@@ -510,11 +530,15 @@ func (p *PreparedKeylog) Finish(det *keylog.Detection) *KeylogResult { return p.
 // finish scores a detection against the prepared run's ground truth.
 func (p *PreparedKeylog) finish(det *keylog.Detection) *KeylogResult {
 	groups := keylog.GroupWords(det.Keystrokes, 0)
+	char := keylog.ScoreKeystrokes(p.Events, det.Keystrokes, 30*sim.Millisecond)
+	keylogRuns.Inc()
+	keylogTruth.Add(uint64(char.Truth))
+	keylogMatched.Add(uint64(char.Matched))
 	return &KeylogResult{
 		Text:      p.Text,
 		Events:    p.Events,
 		Detection: det,
-		Char:      keylog.ScoreKeystrokes(p.Events, det.Keystrokes, 30*sim.Millisecond),
+		Char:      char,
 		Word:      keylog.ScoreWords(keylog.WordLengths(p.Text), keylog.PredictedWordLengths(groups)),
 		Faults:    p.Faults,
 	}

@@ -67,6 +67,12 @@ type DaemonStream struct {
 	chunks  *telemetry.Counter
 	samples *telemetry.Counter
 	stalls  *telemetry.Counter
+	// depth mirrors the ring's buffered-chunk count at every
+	// enqueue/dequeue, so backpressure is visible on the admin plane
+	// before pushes start stalling; latency times each processor Push in
+	// the dispatch loop.
+	depth   *telemetry.Gauge
+	latency *telemetry.Histogram
 }
 
 // NewDaemon starts a pool of the given worker count (minimum 1).
@@ -97,7 +103,12 @@ func (d *Daemon) Attach(name string, proc Processor, queueCap int) *DaemonStream
 		chunks:  telemetry.NewCounter(fmt.Sprintf("stream.daemon.%s.chunks", name)),
 		samples: telemetry.NewCounter(fmt.Sprintf("stream.daemon.%s.samples", name)),
 		stalls:  telemetry.NewCounter(fmt.Sprintf("stream.daemon.%s.stalls", name)),
+		depth:   telemetry.NewGauge(fmt.Sprintf("stream.daemon.%s.queue_depth", name)),
+		latency: telemetry.NewHistogram(fmt.Sprintf("stream.daemon.%s.chunk", name)),
 	}
+	// A re-attached name reuses its telemetry series; the gauge must
+	// restart at the new ring's (empty) depth rather than a stale level.
+	s.depth.Set(0)
 	d.mu.Lock()
 	d.streams = append(d.streams, s)
 	d.mu.Unlock()
@@ -117,6 +128,7 @@ func (s *DaemonStream) Push(chunk []complex128) bool {
 	if waited := s.ring.Stalls() - before; waited > 0 {
 		s.stalls.Add(waited)
 	}
+	s.depth.Set(int64(s.ring.Len()))
 	s.d.enqueue(s)
 	return true
 }
@@ -194,7 +206,10 @@ func (d *Daemon) worker() {
 			if !ok {
 				break
 			}
+			s.depth.Set(int64(s.ring.Len()))
+			span := s.latency.Start()
 			s.proc.Push(chunk)
+			span.End()
 			s.chunks.Inc()
 			s.samples.Add(uint64(len(chunk)))
 			daemonDispatches.Inc()

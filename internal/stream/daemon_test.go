@@ -128,6 +128,65 @@ func TestDaemonBackpressure(t *testing.T) {
 	}
 }
 
+// gatedProc blocks every Push until the gate opens and reports each
+// entry, letting a test freeze the daemon's single worker at a known
+// point.
+type gatedProc struct {
+	entered chan struct{}
+	gate    chan struct{}
+	chunks  int // worker-goroutine only (one stream = one worker)
+}
+
+func (p *gatedProc) Push(chunk []complex128) {
+	p.entered <- struct{}{}
+	<-p.gate
+	p.chunks++
+}
+
+// TestDaemonQueueDepthAndLatency pins the introspection series added
+// for the admin plane: the queue_depth gauge tracks the ring's
+// buffered-chunk count at enqueue/dequeue (visible backpressure before
+// any stall), and the per-stream chunk histogram records one latency
+// observation per dispatched chunk.
+func TestDaemonQueueDepthAndLatency(t *testing.T) {
+	d := stream.NewDaemon(1)
+	proc := &gatedProc{entered: make(chan struct{}, 8), gate: make(chan struct{})}
+	s := d.Attach("depth", proc, 8)
+
+	s.Push(make([]complex128, 4))
+	// The worker is now parked inside proc.Push with the ring empty, so
+	// the next pushes accumulate depth with no concurrent dequeues.
+	<-proc.entered
+	for i := 0; i < 3; i++ {
+		s.Push(make([]complex128, 4))
+	}
+	if got := telemetry.Capture().Gauges["stream.daemon.depth.queue_depth"]; got != 3 {
+		t.Fatalf("queue_depth with 3 buffered chunks = %d, want 3", got)
+	}
+
+	close(proc.gate)
+	s.Close()
+	d.Drain()
+	if proc.chunks != 4 {
+		t.Fatalf("processor saw %d chunks, want 4", proc.chunks)
+	}
+	snap := telemetry.Capture()
+	if got := snap.Gauges["stream.daemon.depth.queue_depth"]; got != 0 {
+		t.Fatalf("queue_depth after drain = %d, want 0", got)
+	}
+	lat, ok := snap.Histograms["stream.daemon.depth.chunk"]
+	if !ok || lat.Count != 4 {
+		t.Fatalf("chunk latency histogram = (%v, count %d), want 4 observations", ok, lat.Count)
+	}
+	var bucketSum uint64
+	for _, b := range lat.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != lat.Count {
+		t.Fatalf("latency buckets sum to %d, want %d", bucketSum, lat.Count)
+	}
+}
+
 // TestDaemonStreamsMatchBatch is the serve-mode identity check: eight
 // concurrent streams — four covert receivers and four keylog detectors,
 // fed the same captures at different chunk sizes by competing producer

@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"math"
 	"math/bits"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -104,6 +106,92 @@ func (s HistogramSnapshot) Mean() time.Duration {
 		return 0
 	}
 	return time.Duration(s.SumNs / int64(s.Count))
+}
+
+// Quantile returns an upper bound on the p-th quantile of the observed
+// durations: the bucket boundary below which at least ceil(p·count)
+// observations fall. The bound is exact to the histogram's 2x bucket
+// resolution — the right precision for latency reporting, where the
+// question is "which decade", not "which nanosecond". p is clamped to
+// [0, 1]; a histogram with no samples reports 0.
+//
+// The result is a pure function of the bucket multiset, so it is
+// deterministic across any merge order: merging snapshots adds bucket
+// counts, and addition commutes (pinned by TestQuantileMergeOrder).
+func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return time.Duration(b.UpperNs)
+		}
+	}
+	// Bucket counts summing short of Count cannot happen for snapshots
+	// this package produces; answer with the largest bound regardless.
+	return time.Duration(s.Buckets[len(s.Buckets)-1].UpperNs)
+}
+
+// Quantile reports the p-th quantile bound of the histogram's current
+// contents; see HistogramSnapshot.Quantile for the semantics.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	return h.snapshot().Quantile(p)
+}
+
+// Merge returns the combination of two snapshots as if every
+// observation of both had been recorded into one histogram. Bucket
+// counts add by boundary, so Merge is commutative and associative —
+// quantiles of a multi-way merge do not depend on the merge order.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count + o.Count, SumNs: s.SumNs + o.SumNs}
+	byUpper := make(map[int64]uint64, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		byUpper[b.UpperNs] += b.Count
+	}
+	for _, b := range o.Buckets {
+		byUpper[b.UpperNs] += b.Count
+	}
+	if len(byUpper) == 0 {
+		return out
+	}
+	uppers := make([]int64, 0, len(byUpper))
+	for u := range byUpper {
+		uppers = append(uppers, u)
+	}
+	sort.Slice(uppers, func(i, j int) bool { return uppers[i] < uppers[j] })
+	out.Buckets = make([]HistogramBucket, 0, len(uppers))
+	for _, u := range uppers {
+		out.Buckets = append(out.Buckets, HistogramBucket{UpperNs: u, Count: byUpper[u]})
+	}
+	return out
+}
+
+// sub returns the change from an earlier snapshot prev to s, assuming s
+// extends prev (the histogram only accumulated in between). Buckets
+// subtract by boundary; empty results are omitted, matching snapshot().
+func (s HistogramSnapshot) sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count - prev.Count, SumNs: s.SumNs - prev.SumNs}
+	prevByUpper := make(map[int64]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevByUpper[b.UpperNs] = b.Count
+	}
+	for _, b := range s.Buckets {
+		n := b.Count - prevByUpper[b.UpperNs]
+		if n == 0 {
+			continue
+		}
+		out.Buckets = append(out.Buckets, HistogramBucket{UpperNs: b.UpperNs, Count: n})
+	}
+	return out
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {

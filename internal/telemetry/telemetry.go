@@ -273,6 +273,40 @@ func (s Snapshot) FilterPrefix(prefix string) Snapshot {
 	return out
 }
 
+// Delta returns the change from prev to s — what happened between two
+// scrapes. Counters and histogram counts subtract; gauges are
+// instantaneous levels, so the delta carries s's current value
+// unchanged. A series absent from prev (it registered after the last
+// scrape) or whose count went backwards (a Reset in between) reports
+// its full current value. The key set is s's: series that existed only
+// in prev are dropped, mirroring Snapshot's "key set reflects what ran"
+// contract.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		if p, ok := prev.Counters[name]; ok && p <= v {
+			out.Counters[name] = v - p
+		} else {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		if p, ok := prev.Histograms[name]; ok && p.Count <= h.Count {
+			out.Histograms[name] = h.sub(p)
+		} else {
+			out.Histograms[name] = h
+		}
+	}
+	return out
+}
+
 // CounterNames returns the snapshot's counter keys in sorted order —
 // the iteration order every renderer should use.
 func (s Snapshot) CounterNames() []string { return sortedKeys(s.Counters) }
