@@ -49,6 +49,13 @@ func main() {
 		verify  = flag.Bool("verify", false, "serve: recompute each stream through the batch pipeline and require byte-identical output")
 		adminA  = flag.String("admin", "", "serve: expose the live introspection plane (/metrics, /streams, /healthz, /debug/pprof) on this address, e.g. :9110 or 127.0.0.1:0")
 		linger  = flag.Duration("linger", 0, "serve: keep the process (and -admin listener) alive this long after the final report")
+
+		// Supervision: checkpoint/restore across process death, and the
+		// deterministic chaos harness.
+		checkpoint = flag.String("checkpoint", "", "serve: checkpoint directory — persist per-stream processor state and restore from it at startup (kill-and-resume)")
+		ckptEvery  = flag.Int("ckpt-every", 8, "serve: write a checkpoint every N processed chunks per stream")
+		chaosCls   = flag.String("chaos", "off", "serve: inject a deterministic chaos class — off | stall | slow | kill | corrupt")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "serve: seed for the chaos fault schedules (replayable)")
 	)
 	flag.Parse()
 
@@ -107,6 +114,11 @@ func main() {
 			verify:  *verify,
 			admin:   *adminA,
 			linger:  *linger,
+
+			checkpoint: *checkpoint,
+			ckptEvery:  *ckptEvery,
+			chaos:      *chaosCls,
+			chaosSeed:  *chaosSeed,
 		}))
 	default:
 		fmt.Fprintf(os.Stderr, "emscope: unknown mode %q\n", *mode)

@@ -12,6 +12,7 @@ import (
 	"pmuleak/internal/admin"
 	"pmuleak/internal/core"
 	"pmuleak/internal/covert"
+	"pmuleak/internal/faults"
 	"pmuleak/internal/keylog"
 	"pmuleak/internal/laptop"
 	"pmuleak/internal/sdr"
@@ -36,10 +37,24 @@ type serveOptions struct {
 	// long after the final report, so external probes can scrape a
 	// finished daemon.
 	linger time.Duration
+
+	// checkpoint enables kill-and-resume: per-stream processor state is
+	// persisted to this directory every ckptEvery chunks, restored at
+	// startup, and removed when the stream finishes cleanly.
+	checkpoint string
+	ckptEvery  int
+	// chaos selects a deterministic fault class (off | stall | slow |
+	// kill | corrupt) keyed by chaosSeed — the same seed injects the
+	// same faults at the same chunks on every run.
+	chaos     string
+	chaosSeed int64
 }
 
 // serveStream is one attached capture stream: its prepared ground
-// truth, its incremental processor, and its daemon handle.
+// truth, its incremental processor, and its daemon handle. The rx/kd
+// field always points at the CURRENT processor — recovery after a
+// quarantine swaps in a fresh one, and the report finalizes whatever is
+// current.
 type serveStream struct {
 	name string
 	// exactly one of the covert/keylog pairs is set
@@ -50,6 +65,70 @@ type serveStream struct {
 	ds *stream.DaemonStream
 }
 
+// newProc (re)constructs the stream's processor from its prepared
+// config — the initial build, and the recovery path's clean slate (a
+// quarantined processor's state is mid-chunk garbage and must never be
+// restored into or finalized).
+func (s *serveStream) newProc() error {
+	if s.pc != nil {
+		rx, err := stream.NewCovertReceiver(s.pc.RXCfg, s.pc.Cap.SampleRate, s.pc.Cap.CenterFreqHz)
+		if err != nil {
+			return err
+		}
+		s.rx = rx
+		return nil
+	}
+	kd, err := stream.NewKeylogDetector(s.pk.DetCfg, s.pk.Cap.SampleRate, s.pk.Cap.CenterFreqHz)
+	if err != nil {
+		return err
+	}
+	s.kd = kd
+	return nil
+}
+
+func (s *serveStream) proc() stream.Processor {
+	if s.rx != nil {
+		return s.rx
+	}
+	return s.kd
+}
+
+func (s *serveStream) ckpt() stream.Checkpointer {
+	if s.rx != nil {
+		return s.rx
+	}
+	return s.kd
+}
+
+func (s *serveStream) capture() *sdr.Capture {
+	if s.pc != nil {
+		return s.pc.Cap
+	}
+	return s.pk.Cap
+}
+
+// chaosPlan maps a -chaos class name to its fault intensities and the
+// supervisor stall deadline that makes the class bite: the stall class
+// blocks well past the deadline (forcing retry → restart), the slow
+// class stays well under it (forcing pure backpressure).
+func chaosPlan(class string) (faults.ChaosConfig, time.Duration, error) {
+	const deadline = 2 * time.Second
+	switch class {
+	case "", "off":
+		return faults.ChaosConfig{}, deadline, nil
+	case "stall":
+		return faults.ChaosConfig{StallProb: 0.08, StallFor: 150 * time.Millisecond}, 25 * time.Millisecond, nil
+	case "slow":
+		return faults.ChaosConfig{SlowProb: 0.25, SlowFor: 2 * time.Millisecond}, deadline, nil
+	case "kill":
+		return faults.ChaosConfig{Kill: true, KillFrac: 0.6}, deadline, nil
+	case "corrupt":
+		return faults.ChaosConfig{CorruptCheckpoints: true}, deadline, nil
+	default:
+		return faults.ChaosConfig{}, 0, fmt.Errorf("unknown -chaos class %q (off | stall | slow | kill | corrupt)", class)
+	}
+}
+
 // runServe is the emscoped entry point: it prepares one capture per
 // stream (distinct seeds, so each stream carries different payloads and
 // keystrokes), multiplexes all of them over a stream.Daemon worker
@@ -57,12 +136,35 @@ type serveStream struct {
 // gracefully, and scores every stream's finalized output against its
 // ground truth. With -verify it additionally recomputes each stream
 // through the batch pipeline and requires the streamed result to match
-// byte for byte — the CI daemon smoke gate. Returns the process exit
-// code.
+// byte for byte — the CI daemon smoke gate.
+//
+// With -checkpoint the daemon persists processor state and restores it
+// at startup, so a killed process resumes where it left off; with
+// -chaos it injects one deterministic fault class and must STILL verify
+// byte-identical — the chaos smoke gate. Returns the process exit code.
 func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions) int {
 	if o.streams < 1 || o.workers < 1 || o.chunk < 1 || o.queue < 1 {
 		fmt.Fprintln(os.Stderr, "emscope: -streams, -workers, -chunk, and -queue must all be >= 1")
 		return 2
+	}
+	chaosCfg, stallDeadline, err := chaosPlan(o.chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emscope: %v\n", err)
+		return 2
+	}
+	var chaos *faults.Chaos
+	if chaosCfg.Enabled() {
+		if chaos, err = faults.NewChaos(chaosCfg, o.chaosSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "emscope: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "emscoped: chaos class %q, seed %d\n", o.chaos, o.chaosSeed)
+	}
+	if o.checkpoint != "" {
+		if err := os.MkdirAll(o.checkpoint, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "emscope: -checkpoint: %v\n", err)
+			return 2
+		}
 	}
 	fmt.Printf("%s — emscoped: %d streams (%s) over %d workers, chunk %d samples, queue %d chunks\n",
 		prof, o.streams, o.kind, o.workers, o.chunk, o.queue)
@@ -98,42 +200,32 @@ func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions)
 		if covertStream {
 			s.name = fmt.Sprintf("cov%d", i)
 			s.pc = tb.PrepareCovert(core.CovertConfig{PayloadBits: 48})
-			rx, err := stream.NewCovertReceiver(s.pc.RXCfg, s.pc.Cap.SampleRate, s.pc.Cap.CenterFreqHz)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "emscope: stream %s: %v\n", s.name, err)
-				return 2
-			}
-			s.rx = rx
 		} else {
 			s.name = fmt.Sprintf("key%d", i)
 			s.pk = tb.PrepareKeylog(core.KeylogConfig{Words: 3})
-			kd, err := stream.NewKeylogDetector(s.pk.DetCfg, s.pk.Cap.SampleRate, s.pk.Cap.CenterFreqHz)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "emscope: stream %s: %v\n", s.name, err)
-				return 2
-			}
-			s.kd = kd
+		}
+		if err := s.newProc(); err != nil {
+			fmt.Fprintf(os.Stderr, "emscope: stream %s: %v\n", s.name, err)
+			return 2
 		}
 		streams[i] = s
 	}
 
-	d := stream.NewDaemon(o.workers)
+	dopts := []stream.DaemonOption{}
+	if o.checkpoint != "" {
+		dopts = append(dopts, stream.WithCheckpoints(o.checkpoint, o.ckptEvery))
+	}
+	d := stream.NewDaemon(o.workers, dopts...)
+	scfg := stream.SuperviseConfig{StallDeadline: stallDeadline, Seed: o.chaosSeed}
+
+	feedErrs := make([]error, len(streams))
 	var wg sync.WaitGroup
-	for _, s := range streams {
-		iq := s.capture().IQ
-		proc := stream.Processor(s.rx)
-		if s.kd != nil {
-			proc = s.kd
-		}
-		s.ds = d.Attach(s.name, proc, o.queue)
+	for i, s := range streams {
 		wg.Add(1)
-		go func(s *serveStream, iq []complex128) {
+		go func(i int, s *serveStream) {
 			defer wg.Done()
-			for _, chunk := range stream.Chunks(iq, o.chunk) {
-				s.ds.Push(chunk)
-			}
-			s.ds.Close()
-		}(s, iq)
+			feedErrs[i] = feedStream(d, s, o, chaos, uint64(i), scfg)
+		}(i, s)
 	}
 	wg.Wait()
 	d.Drain()
@@ -147,7 +239,12 @@ func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions)
 	}
 
 	exit := 0
-	for _, s := range streams {
+	for i, s := range streams {
+		if feedErrs[i] != nil {
+			fmt.Fprintf(os.Stderr, "emscope: stream %s: %v\n", s.name, feedErrs[i])
+			exit = 1
+			continue
+		}
 		raw := 16 * len(s.capture().IQ)
 		if s.rx != nil {
 			state := s.rx.StateBytes()
@@ -172,6 +269,11 @@ func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions)
 				exit = verdict(s.name, reflect.DeepEqual(det, batch), exit)
 			}
 		}
+		// A finished stream's checkpoint is stale state — a later run
+		// must start this stream fresh, not resume past its own end.
+		if o.checkpoint != "" {
+			os.Remove(stream.CheckpointPath(o.checkpoint, s.name))
+		}
 		s.capture().Recycle()
 	}
 
@@ -194,11 +296,78 @@ func runServe(prof laptop.Profile, seed int64, distance float64, o serveOptions)
 	return exit
 }
 
-func (s *serveStream) capture() *sdr.Capture {
-	if s.pc != nil {
-		return s.pc.Cap
+// feedStream drives one stream to completion: restore from checkpoint
+// if one exists, feed the remaining samples through a supervised
+// source, and — when the stream is quarantined (a chaos kill, or a
+// source the supervisor gave up on) — rebuild the processor, restore
+// the last checkpoint, and replay from there, up to maxRecoveries
+// times. Chunk-size invariance is what makes this byte-exact: a
+// restored processor replaying iq[Consumed():] at any chunking finishes
+// identical to the uninterrupted run.
+func feedStream(d *stream.Daemon, s *serveStream, o serveOptions, chaos *faults.Chaos, key uint64, scfg stream.SuperviseConfig) error {
+	iq := s.capture().IQ
+	totalChunks := (len(iq) + o.chunk - 1) / o.chunk
+
+	restore := func() {
+		if o.checkpoint == "" {
+			return
+		}
+		path := stream.CheckpointPath(o.checkpoint, s.name)
+		if _, err := os.Stat(path); err != nil {
+			return // no checkpoint: start fresh from sample 0
+		}
+		if chaos != nil {
+			// The corrupt class rots the checkpoint before restore; the
+			// digest check must turn that into a clean fresh start.
+			if err := chaos.CorruptFile(key, path); err != nil {
+				fmt.Fprintf(os.Stderr, "emscoped: %s: corrupt checkpoint: %v\n", s.name, err)
+			}
+		}
+		if err := stream.RestoreCheckpoint(o.checkpoint, s.name, s.ckpt()); err != nil {
+			fmt.Fprintf(os.Stderr, "emscoped: %s: checkpoint restore failed (%v), starting fresh\n", s.name, err)
+			if nerr := s.newProc(); nerr != nil {
+				// Construction succeeded once with the same config; a
+				// failure here is unrecoverable.
+				panic(nerr)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "emscoped: %s: restored from checkpoint at sample %d/%d\n",
+			s.name, s.ckpt().Consumed(), len(iq))
 	}
-	return s.pk.Cap
+	restore()
+
+	const maxRecoveries = 3
+	for attempt := 0; ; attempt++ {
+		consumed := s.ckpt().Consumed()
+		var src stream.Source = stream.NewSliceSource(iq[consumed:], o.chunk)
+		proc := s.proc()
+		if chaos != nil && attempt == 0 && consumed == 0 {
+			// Chaos applies to the first, from-scratch attempt only: the
+			// recovery and resume paths run clean, so every class
+			// converges to the uninterrupted result.
+			src = chaos.Source(key, src)
+			proc = chaos.Processor(key, totalChunks, proc)
+		}
+		sv, err := d.Supervise(s.name, proc, o.queue, src, scfg)
+		if err != nil {
+			return err
+		}
+		s.ds = sv.DaemonStream
+		sv.Wait()
+		if !sv.Quarantined() {
+			return nil
+		}
+		if attempt+1 >= maxRecoveries {
+			return fmt.Errorf("gave up after %d recoveries: %v", attempt+1, sv.Err())
+		}
+		fmt.Fprintf(os.Stderr, "emscoped: %s: quarantined (%v) — recovering (attempt %d/%d)\n",
+			s.name, sv.Err(), attempt+1, maxRecoveries-1)
+		if err := s.newProc(); err != nil {
+			return err
+		}
+		restore()
+	}
 }
 
 // verdict prints one stream's verification outcome and folds it into

@@ -13,7 +13,12 @@
 //     (Snapshot.Delta): counters and histogram counts subtract, gauges
 //     stay instantaneous levels.
 //
-//   - /healthz — liveness: "ok", plus uptime.
+//   - /healthz — liveness AND readiness as JSON: live is "is the
+//     process serving" (always true when you got an answer), ready is
+//     "is every stream healthy" — quarantined streams, shed chunks,
+//     retry giveups, and checkpoint write errors flip status from
+//     "ok" to "degraded" with the evidence in the body, so a probe
+//     distinguishes a healthy daemon from one silently losing work.
 //
 //   - /streams — the per-stream view of the capture daemon, assembled
 //     from the stream.daemon.<name>.* series: chunks, samples, stalls,
@@ -99,8 +104,62 @@ func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
 func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write([]byte("ok uptime=" + time.Since(s.start).Round(time.Millisecond).String() + "\n"))
+	view := BuildHealthView(s.source())
+	view.UptimeMS = time.Since(s.start).Milliseconds()
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(view, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// HealthView is the /healthz response body. Live is plain liveness;
+// Ready means no stream is quarantined. Status summarizes: "ok" when
+// ready and nothing has been shed or given up, "degraded" otherwise —
+// a daemon that is up but has lost work says so rather than "ok".
+type HealthView struct {
+	Status           string   `json:"status"`
+	Live             bool     `json:"live"`
+	Ready            bool     `json:"ready"`
+	UptimeMS         int64    `json:"uptime_ms"`
+	Quarantined      []string `json:"quarantined"`
+	ShedChunks       uint64   `json:"shed_chunks"`
+	AttachRejected   uint64   `json:"attach_rejected"`
+	RetryGiveups     uint64   `json:"retry_giveups"`
+	CheckpointErrors uint64   `json:"checkpoint_errors"`
+}
+
+// BuildHealthView derives the degraded-state summary from a telemetry
+// snapshot: the per-stream stream.daemon.<name>.quarantined gauges name
+// the quarantined streams, and the stream.shed.* / stream.retry.* /
+// stream.checkpoint.* totals quantify what was lost. Pure function of
+// the snapshot (UptimeMS is the caller's).
+func BuildHealthView(snap telemetry.Snapshot) HealthView {
+	view := HealthView{
+		Live:             true,
+		Quarantined:      []string{},
+		ShedChunks:       snap.Counters["stream.shed.chunks"],
+		AttachRejected:   snap.Counters["stream.shed.attach_rejected"],
+		RetryGiveups:     snap.Counters["stream.retry.giveups"],
+		CheckpointErrors: snap.Counters["stream.checkpoint.errors"],
+	}
+	const prefix = "stream.daemon."
+	const suffix = ".quarantined"
+	for series, v := range snap.Gauges {
+		if v != 0 && strings.HasPrefix(series, prefix) && strings.HasSuffix(series, suffix) {
+			view.Quarantined = append(view.Quarantined, series[len(prefix):len(series)-len(suffix)])
+		}
+	}
+	sort.Strings(view.Quarantined)
+	view.Ready = len(view.Quarantined) == 0
+	if view.Ready && view.ShedChunks == 0 && view.RetryGiveups == 0 && view.CheckpointErrors == 0 {
+		view.Status = "ok"
+	} else {
+		view.Status = "degraded"
+	}
+	return view
 }
 
 // handleMetrics serves the snapshot through the exact WriteJSON
@@ -130,11 +189,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // StreamInfo is one capture stream's row of the /streams view.
 type StreamInfo struct {
-	Name       string `json:"name"`
-	Chunks     uint64 `json:"chunks"`
-	Samples    uint64 `json:"samples"`
-	Stalls     uint64 `json:"stalls"`
-	QueueDepth int64  `json:"queue_depth"`
+	Name        string `json:"name"`
+	Chunks      uint64 `json:"chunks"`
+	Samples     uint64 `json:"samples"`
+	Stalls      uint64 `json:"stalls"`
+	Shed        uint64 `json:"shed"`
+	Retries     uint64 `json:"retries"`
+	Quarantined bool   `json:"quarantined"`
+	QueueDepth  int64  `json:"queue_depth"`
 	// Chunk-latency digest from the dispatch-loop histogram. The
 	// quantile bounds carry the histogram's 2x bucket resolution.
 	ChunkCount  uint64 `json:"chunk_count"`
@@ -200,11 +262,22 @@ func BuildStreamsView(snap telemetry.Snapshot) StreamsView {
 			info.Samples = v
 		case "stalls":
 			info.Stalls = v
+		case "shed":
+			info.Shed = v
+		case "retries":
+			info.Retries = v
 		}
 	}
 	for series, v := range scoped.Gauges {
-		if info, field := get(strings.TrimPrefix(series, prefix)); info != nil && field == "queue_depth" {
+		info, field := get(strings.TrimPrefix(series, prefix))
+		if info == nil {
+			continue
+		}
+		switch field {
+		case "queue_depth":
 			info.QueueDepth = v
+		case "quarantined":
+			info.Quarantined = v != 0
 		}
 	}
 	for series, h := range scoped.Histograms {

@@ -159,13 +159,58 @@ func TestStreamsView(t *testing.T) {
 	}
 }
 
-// TestHealthzAndPprof: liveness answers, and the pprof index is wired.
+// TestHealthzAndPprof: a healthy registry reports status ok with
+// live+ready set, and the pprof index is wired.
 func TestHealthzAndPprof(t *testing.T) {
 	srv := testServer(t, fixedRegistry())
-	if body := get(t, srv.URL+"/healthz"); !bytes.HasPrefix(body, []byte("ok")) {
-		t.Fatalf("/healthz = %q", body)
+	var view HealthView
+	if err := json.Unmarshal(get(t, srv.URL+"/healthz"), &view); err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	if view.Status != "ok" || !view.Live || !view.Ready {
+		t.Fatalf("healthy daemon /healthz = %+v, want status ok, live, ready", view)
+	}
+	if len(view.Quarantined) != 0 || view.ShedChunks != 0 {
+		t.Fatalf("healthy daemon reports degradation: %+v", view)
 	}
 	if body := get(t, srv.URL+"/debug/pprof/"); !bytes.Contains(body, []byte("goroutine")) {
 		t.Fatalf("/debug/pprof/ index missing profiles: %q", body)
+	}
+}
+
+// TestHealthzDegraded: quarantined streams and shed counts flip the
+// status and are itemized in the body — the probe sees exactly which
+// streams died and how much work was lost.
+func TestHealthzDegraded(t *testing.T) {
+	r := fixedRegistry()
+	r.Gauge("stream.daemon.key1.quarantined").Set(1)
+	r.Gauge("stream.daemon.cov0.quarantined").Set(0)
+	r.Counter("stream.shed.chunks").Add(3)
+	r.Counter("stream.retry.giveups").Add(1)
+	srv := testServer(t, r)
+
+	var view HealthView
+	if err := json.Unmarshal(get(t, srv.URL+"/healthz"), &view); err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	if view.Status != "degraded" || !view.Live || view.Ready {
+		t.Fatalf("degraded daemon /healthz = %+v, want status degraded, live, not ready", view)
+	}
+	if len(view.Quarantined) != 1 || view.Quarantined[0] != "key1" {
+		t.Fatalf("quarantined list = %v, want [key1]", view.Quarantined)
+	}
+	if view.ShedChunks != 3 || view.RetryGiveups != 1 {
+		t.Fatalf("loss counters = %+v, want shed 3, giveups 1", view)
+	}
+
+	// /streams carries the same degradation per row.
+	var sview StreamsView
+	if err := json.Unmarshal(get(t, srv.URL+"/streams"), &sview); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range sview.Streams {
+		if want := row.Name == "key1"; row.Quarantined != want {
+			t.Fatalf("stream %s quarantined = %v, want %v", row.Name, row.Quarantined, want)
+		}
 	}
 }

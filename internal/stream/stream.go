@@ -90,6 +90,38 @@ func (r *Ring) Push(chunk []complex128) bool {
 	return true
 }
 
+// Offer is Push under an explicit overload policy. With ShedBlock it is
+// exactly Push. With ShedNewest a full ring discards the offered chunk;
+// with ShedOldest it evicts the oldest buffered chunk to make room —
+// either way the producer never blocks. ok reports whether the ring is
+// still open (mirroring Push's return); shed counts chunks discarded by
+// this call (0 or 1).
+func (r *Ring) Offer(chunk []complex128, policy ShedPolicy) (ok bool, shed int) {
+	if policy == ShedBlock {
+		return r.Push(chunk), 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false, 0
+	}
+	if r.count == len(r.slots) {
+		switch policy {
+		case ShedNewest:
+			return true, 1
+		case ShedOldest:
+			r.slots[r.head] = nil
+			r.head = (r.head + 1) % len(r.slots)
+			r.count--
+			shed = 1
+		}
+	}
+	r.slots[(r.head+r.count)%len(r.slots)] = chunk
+	r.count++
+	r.notEmpty.Signal()
+	return true, shed
+}
+
 // Pop removes the oldest chunk, blocking while the ring is empty. ok is
 // false once the ring is closed and fully drained.
 func (r *Ring) Pop() (chunk []complex128, ok bool) {
@@ -130,6 +162,27 @@ func (r *Ring) Close() {
 	r.closed = true
 	r.notFull.Broadcast()
 	r.notEmpty.Broadcast()
+}
+
+// Abort closes the ring AND discards everything still buffered,
+// returning the discarded chunk count. This is the quarantine path's
+// unblock-everyone hammer: a producer blocked in Push against a full
+// ring wakes immediately and sees the refusal, instead of waiting
+// forever on a consumer that will never pop again (the goroutine leak
+// the abandoned-stream regression test pins). Idempotent; an Abort
+// after Close just drops the leftovers.
+func (r *Ring) Abort() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	n := r.count
+	for i := 0; i < n; i++ {
+		r.slots[(r.head+i)%len(r.slots)] = nil
+	}
+	r.head, r.count = 0, 0
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+	return n
 }
 
 // Len returns the number of buffered chunks.
